@@ -1,0 +1,133 @@
+// E7 — Query performance and availability (paper §1, §2):
+//
+//   "These queries typically run in under a second over GBs of data."
+//   "Nearly all queries contain predicates on time; the minimum and
+//    maximum timestamps are used to decide whether to even look at a row
+//    block."
+//
+// google-benchmark micro-benchmarks over a leaf holding ~1M rows:
+// full-scan count, grouped aggregation, filtered aggregation, and the
+// time-pruned variant that demonstrates the row-block min/max index.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "columnar/table.h"
+#include "ingest/row_generator.h"
+#include "query/executor.h"
+
+namespace scuba {
+namespace {
+
+constexpr size_t kRows = 1 << 20;  // ~1M rows across 16 row blocks
+
+const Table& TestTable() {
+  static const Table& table = *[] {
+    auto* t = new Table("service_logs");
+    RowGeneratorConfig config;
+    config.seed = 3;
+    config.rows_per_second = 2000;
+    RowGenerator gen(config);
+    for (size_t i = 0; i < kRows / 8192; ++i) {
+      if (!t->AddRows(gen.NextBatch(8192), gen.current_time()).ok()) {
+        std::abort();
+      }
+    }
+    if (!t->SealWriteBuffer(0).ok()) std::abort();
+    return t;
+  }();
+  return table;
+}
+
+void RunQuery(benchmark::State& state, const Query& query) {
+  const Table& table = TestTable();
+  uint64_t rows_scanned = 0;
+  uint64_t blocks_pruned = 0;
+  for (auto _ : state) {
+    auto result = LeafExecutor::Execute(table, query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    rows_scanned = result->rows_scanned;
+    blocks_pruned = result->blocks_pruned;
+    benchmark::DoNotOptimize(result->num_groups());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows_scanned));
+  state.counters["rows_scanned"] = static_cast<double>(rows_scanned);
+  state.counters["blocks_pruned"] = static_cast<double>(blocks_pruned);
+}
+
+void BM_CountAll(benchmark::State& state) {
+  Query q;
+  q.table = "service_logs";
+  q.aggregates = {Count()};
+  RunQuery(state, q);
+}
+
+void BM_GroupByServiceAvgLatency(benchmark::State& state) {
+  Query q;
+  q.table = "service_logs";
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Avg("latency_ms")};
+  RunQuery(state, q);
+}
+
+void BM_FilteredErrorCount(benchmark::State& state) {
+  Query q;
+  q.table = "service_logs";
+  q.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})}};
+  q.group_by = {"service"};
+  q.aggregates = {Count()};
+  RunQuery(state, q);
+}
+
+void BM_TimePrunedNarrowWindow(benchmark::State& state) {
+  // The last ~6% of event time: most row blocks are pruned via their
+  // min/max timestamps without decoding a single column.
+  const Table& table = TestTable();
+  int64_t max_time = 0;
+  for (size_t b = 0; b < table.num_row_blocks(); ++b) {
+    max_time = std::max(max_time, table.row_block(b)->header().max_time);
+  }
+  Query q;
+  q.table = "service_logs";
+  q.begin_time = max_time - 30;
+  q.aggregates = {Count(), Avg("latency_ms")};
+  RunQuery(state, q);
+}
+
+void BM_FullWindowSameAggregate(benchmark::State& state) {
+  // Baseline for BM_TimePrunedNarrowWindow: same aggregate, no pruning.
+  Query q;
+  q.table = "service_logs";
+  q.aggregates = {Count(), Avg("latency_ms")};
+  RunQuery(state, q);
+}
+
+void BM_P99LatencyByService(benchmark::State& state) {
+  Query q;
+  q.table = "service_logs";
+  q.group_by = {"service"};
+  q.aggregates = {P50("latency_ms"), P99("latency_ms")};
+  RunQuery(state, q);
+}
+
+void BM_ErrorTimelinePerMinute(benchmark::State& state) {
+  Query q;
+  q.table = "service_logs";
+  q.time_bucket_seconds = 60;
+  q.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})}};
+  q.aggregates = {Count()};
+  RunQuery(state, q);
+}
+
+BENCHMARK(BM_CountAll)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GroupByServiceAvgLatency)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FilteredErrorCount)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TimePrunedNarrowWindow)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullWindowSameAggregate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_P99LatencyByService)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ErrorTimelinePerMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scuba

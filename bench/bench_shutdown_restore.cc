@@ -1,0 +1,91 @@
+// E3 — Shutdown-to-shm and restore-from-shm cost (paper §4.3, Fig 6/7).
+//
+// "Usually, the leaf copies its data to shared memory and exits in 3-4
+// seconds" and memory recovery "takes a few seconds per leaf". Both are
+// linear memcpy-bound passes. This harness sweeps leaf sizes, measures
+// both directions, reports per-byte rates, and extrapolates to the paper's
+// 10-15 GB leaf to check the 3-4 s claim's shape.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/restore.h"
+#include "core/shutdown.h"
+#include "shm/shm_segment.h"
+
+namespace scuba {
+namespace {
+
+using bench_util::BenchEnv;
+using bench_util::FillLeafToBytes;
+using bench_util::MiB;
+using bench_util::Rate;
+
+int Run() {
+  BenchEnv env("e3");
+
+  std::printf("E3: shutdown/restore via shared memory (paper §4.3: copy out "
+              "in 3-4 s for 10-15 GB)\n\n");
+  std::printf("%10s %14s %14s %14s %14s\n", "leaf_MiB", "shutdown_ms",
+              "out_GiB/s", "restore_ms", "back_GiB/s");
+
+  double last_out_rate = 0;
+  double last_back_rate = 0;
+  for (uint64_t target : {16ull << 20, 64ull << 20, 256ull << 20}) {
+    LeafMap leaf_map;
+    uint64_t bytes = FillLeafToBytes(&leaf_map, target);
+
+    ShutdownOptions soptions;
+    soptions.namespace_prefix = env.prefix();
+    ShutdownStats sstats;
+    if (!ShutdownToShm(&leaf_map, soptions, &sstats).ok()) return 1;
+
+    RestoreOptions roptions;
+    roptions.namespace_prefix = env.prefix();
+    roptions.verify_checksums = false;  // paper does not checksum
+    RestoreStats rstats;
+    LeafMap restored;
+    if (!RestoreFromShm(&restored, roptions, &rstats).ok()) return 1;
+
+    last_out_rate = Rate(sstats.bytes_copied, sstats.elapsed_micros);
+    last_back_rate = Rate(rstats.bytes_copied, rstats.elapsed_micros);
+    std::printf("%10.0f %14.1f %14.2f %14.1f %14.2f\n", MiB(bytes),
+                sstats.elapsed_micros / 1000.0, last_out_rate / (1 << 30),
+                rstats.elapsed_micros / 1000.0, last_back_rate / (1 << 30));
+  }
+
+  // Ablation: Fig 6's "estimate size of table". Underestimates pay
+  // segment grows (ftruncate + mremap); overestimates are truncated free
+  // of charge at Finish. The factor barely matters — which is why the
+  // paper can use a simple estimate.
+  std::printf("\nsize-estimate ablation (128 MiB leaf):\n");
+  std::printf("%18s %14s %14s\n", "estimate_factor", "shutdown_ms",
+              "segment_grows");
+  for (double factor : {0.1, 0.5, 1.05, 2.0}) {
+    LeafMap leaf_map;
+    FillLeafToBytes(&leaf_map, 128ull << 20);
+    ShutdownOptions soptions;
+    soptions.namespace_prefix = env.prefix();
+    soptions.leaf_id = 7;
+    soptions.size_estimate_factor = factor;
+    ShutdownStats sstats;
+    if (!ShutdownToShm(&leaf_map, soptions, &sstats).ok()) return 1;
+    std::printf("%18.2f %14.1f %14llu\n", factor,
+                sstats.elapsed_micros / 1000.0,
+                static_cast<unsigned long long>(sstats.segment_grow_count));
+    ShmSegment::RemoveAll("/" + env.prefix() + "_leaf_7_");
+  }
+
+  double leaf_bytes = 12.0 * (1 << 30);
+  std::printf("\nextrapolation to a 12 GB production leaf (measured rates):\n");
+  std::printf("  shutdown copy-out: %5.1f s   (paper: 3-4 s)\n",
+              leaf_bytes / last_out_rate);
+  std::printf("  restore copy-back: %5.1f s   (paper: \"a few seconds\")\n",
+              leaf_bytes / last_back_rate);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scuba
+
+int main() { return scuba::Run(); }

@@ -1,0 +1,90 @@
+#ifndef SCUBA_BENCH_BENCH_UTIL_H_
+#define SCUBA_BENCH_BENCH_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "columnar/leaf_map.h"
+#include "ingest/row_generator.h"
+#include "shm/shm_segment.h"
+
+namespace scuba {
+namespace bench_util {
+
+/// A /dev/shm + /tmp namespace unique to this process, scrubbed on exit.
+class BenchEnv {
+ public:
+  explicit BenchEnv(const std::string& tag)
+      : prefix_("scbench_" + std::to_string(getpid()) + "_" + tag),
+        dir_("/tmp/" + prefix_) {
+    ShmSegment::RemoveAll("/" + prefix_);
+    std::string cmd = "rm -rf " + dir_ + " && mkdir -p " + dir_;
+    if (std::system(cmd.c_str()) != 0) std::abort();
+  }
+  ~BenchEnv() {
+    ShmSegment::RemoveAll("/" + prefix_);
+    std::string cmd = "rm -rf " + dir_;
+    if (std::system(cmd.c_str()) != 0) {
+      // best effort
+    }
+  }
+
+  const std::string& prefix() const { return prefix_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string prefix_;
+  std::string dir_;
+};
+
+/// Sum of sealed row-block bytes (excludes write-buffer estimates, which
+/// overstate pre-compression size by ~10x).
+inline uint64_t SealedBytes(const LeafMap& leaf_map) {
+  uint64_t bytes = 0;
+  for (const std::string& name : leaf_map.TableNames()) {
+    const Table* table = leaf_map.GetTable(name);
+    for (size_t b = 0; b < table->num_row_blocks(); ++b) {
+      if (table->row_block(b) != nullptr) {
+        bytes += table->row_block(b)->MemoryBytes();
+      }
+    }
+  }
+  return bytes;
+}
+
+/// Fills a leaf map with service-log tables until its SEALED (compressed)
+/// heap size is at least `target_bytes`. Returns the actual heap bytes.
+inline uint64_t FillLeafToBytes(LeafMap* leaf_map, uint64_t target_bytes,
+                                size_t num_tables = 4, uint64_t seed = 42) {
+  RowGeneratorConfig config;
+  config.seed = seed;
+  RowGenerator gen(config);
+  size_t t = 0;
+  while (SealedBytes(*leaf_map) < target_bytes) {
+    Table* table =
+        leaf_map->GetOrCreateTable("table_" + std::to_string(t % num_tables));
+    if (!table->AddRows(gen.NextBatch(16384), gen.current_time()).ok()) {
+      std::abort();
+    }
+    if (!table->SealWriteBuffer(gen.current_time()).ok()) std::abort();
+    ++t;
+  }
+  return leaf_map->TotalMemoryBytes();
+}
+
+inline double MiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline double Rate(uint64_t bytes, int64_t micros) {
+  return micros <= 0 ? 0.0
+                     : static_cast<double>(bytes) /
+                           (static_cast<double>(micros) / 1e6);
+}
+
+}  // namespace bench_util
+}  // namespace scuba
+
+#endif  // SCUBA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,217 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "disk/file.h"
+#include "shm/shm_segment.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace scuba {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), random_(config_.seed) {
+  size_t total = config_.num_machines * config_.leaves_per_machine;
+  leaves_.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    leaves_.push_back(
+        std::make_unique<LeafServer>(MakeLeafConfig(static_cast<uint32_t>(i))));
+  }
+  aggregator_.SetLeaves(LeafPointers());
+}
+
+Cluster::~Cluster() = default;
+
+LeafServerConfig Cluster::MakeLeafConfig(uint32_t leaf_id) const {
+  LeafServerConfig lc;
+  lc.leaf_id = leaf_id;
+  lc.namespace_prefix = config_.namespace_prefix;
+  if (!config_.backup_root.empty()) {
+    lc.backup_dir = config_.backup_root + "/leaf_" + std::to_string(leaf_id);
+  }
+  lc.memory_recovery_enabled = config_.memory_recovery_enabled;
+  lc.memory_capacity_bytes = config_.leaf_memory_capacity_bytes;
+  lc.default_table_limits = config_.default_table_limits;
+  lc.clock = config_.clock;
+  return lc;
+}
+
+std::vector<LeafServer*> Cluster::LeafPointers() const {
+  std::vector<LeafServer*> pointers;
+  pointers.reserve(leaves_.size());
+  for (const auto& leaf : leaves_) pointers.push_back(leaf.get());
+  return pointers;
+}
+
+Status Cluster::Start() {
+  if (!config_.backup_root.empty()) {
+    SCUBA_RETURN_IF_ERROR(EnsureDir(config_.backup_root));
+  }
+  for (auto& leaf : leaves_) {
+    SCUBA_ASSIGN_OR_RETURN(RecoveryResult result, leaf->Start());
+    (void)result;
+  }
+  return Status::OK();
+}
+
+void Cluster::AddTailer(const std::string& category, size_t batch_rows) {
+  TailerConfig tc;
+  tc.category = category;
+  tc.batch_rows = batch_rows;
+  tc.seed = config_.seed + tailers_.size() + 1;
+  tailers_.push_back(std::make_unique<Tailer>(tc, &log_, LeafPointers()));
+}
+
+StatusOr<uint64_t> Cluster::PumpTailers(bool flush) {
+  uint64_t delivered = 0;
+  for (auto& tailer : tailers_) {
+    SCUBA_ASSIGN_OR_RETURN(uint64_t n, tailer->Pump(flush));
+    delivered += n;
+  }
+  return delivered;
+}
+
+Status Cluster::RolloverLeaf(size_t index,
+                             const RealRolloverOptions& options,
+                             RealRolloverReport* report) {
+  LeafServer* old_leaf = leaves_[index].get();
+  uint32_t leaf_id = old_leaf->config().leaf_id;
+
+  if (options.use_shared_memory) {
+    if (options.inject_shutdown_kill_rate > 0 &&
+        random_.Bernoulli(options.inject_shutdown_kill_rate)) {
+      old_leaf->InjectShutdownKillForTest();
+    }
+    ShutdownStats stats;
+    Status s = old_leaf->ShutdownToSharedMemory(&stats);
+    if (s.IsAborted()) {
+      // Watchdog kill (§4.3): the script gives up on this leaf; its
+      // successor recovers from the disk backup instead.
+      ++report->watchdog_kills;
+    } else {
+      SCUBA_RETURN_IF_ERROR(s);
+    }
+  } else {
+    // Forced disk path: flush backups via clean shm shutdown, then scrub
+    // the segments so the new process must read from disk.
+    ShutdownStats stats;
+    SCUBA_RETURN_IF_ERROR(old_leaf->ShutdownToSharedMemory(&stats));
+    ShmSegment::RemoveAll("/" + config_.namespace_prefix + "_leaf_" +
+                          std::to_string(leaf_id) + "_");
+  }
+
+  // The "new binary": a fresh LeafServer for the same id recovers the
+  // previous process's state.
+  auto fresh = std::make_unique<LeafServer>(MakeLeafConfig(leaf_id));
+  SCUBA_ASSIGN_OR_RETURN(RecoveryResult result, fresh->Start());
+  switch (result.source) {
+    case RecoverySource::kSharedMemory:
+      ++report->shm_recoveries;
+      break;
+    case RecoverySource::kDisk:
+      ++report->disk_recoveries;
+      break;
+    case RecoverySource::kFresh:
+      ++report->fresh_recoveries;
+      break;
+  }
+  leaves_[index] = std::move(fresh);
+  return Status::OK();
+}
+
+StatusOr<RealRolloverReport> Cluster::Rollover(
+    const RealRolloverOptions& options) {
+  RealRolloverReport report;
+  Stopwatch watch;
+
+  const size_t total = leaves_.size();
+  report.rows_before = TotalRowCount();
+  size_t batch_size = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(static_cast<double>(total) *
+                                        options.batch_fraction)));
+  batch_size = std::min(
+      batch_size, config_.num_machines * options.max_restarting_per_machine);
+
+  // Stripe the batch across machines: leaves are stored machine-striped
+  // (leaf i on machine i % M), so consecutive indices hit distinct
+  // machines.
+  size_t next = 0;
+  auto sample = [&](size_t restarting) {
+    DashboardSample s;
+    s.time_seconds = static_cast<double>(watch.ElapsedMicros()) / 1e6;
+    s.fraction_restarting =
+        static_cast<double>(restarting) / static_cast<double>(total);
+    s.fraction_new =
+        static_cast<double>(report.leaves_rolled) / static_cast<double>(total);
+    s.fraction_old = 1.0 - s.fraction_restarting - s.fraction_new;
+    report.timeline.push_back(s);
+  };
+
+  sample(0);
+  while (next < total) {
+    size_t batch = std::min(batch_size, total - next);
+    sample(batch);
+    report.min_availability = std::min(
+        report.min_availability,
+        1.0 - static_cast<double>(batch) / static_cast<double>(total));
+
+    for (size_t i = 0; i < batch; ++i) {
+      SCUBA_RETURN_IF_ERROR(RolloverLeaf(next + i, options, &report));
+      ++report.leaves_rolled;
+    }
+    next += batch;
+    ++report.num_batches;
+
+    // Leaf objects were replaced: refresh every pointer holder.
+    aggregator_.SetLeaves(LeafPointers());
+    for (auto& tailer : tailers_) tailer->SetLeaves(LeafPointers());
+
+    if (options.pump_tailers_between_batches) {
+      SCUBA_RETURN_IF_ERROR(PumpTailers().status());
+    }
+    sample(0);
+  }
+
+  report.rows_after = TotalRowCount();
+  report.total_micros = watch.ElapsedMicros();
+  return report;
+}
+
+Status Cluster::ShutdownAllToSharedMemory() {
+  for (auto& leaf : leaves_) {
+    if (leaf->state() == LeafState::kAlive) {
+      ShutdownStats stats;
+      SCUBA_RETURN_IF_ERROR(leaf->ShutdownToSharedMemory(&stats));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Cluster::TotalRowCount() const {
+  uint64_t rows = 0;
+  for (const auto& leaf : leaves_) {
+    if (leaf->state() == LeafState::kAlive) rows += leaf->RowCount();
+  }
+  return rows;
+}
+
+void Cluster::Cleanup() {
+  ShmSegment::RemoveAll("/" + config_.namespace_prefix + "_");
+  if (!config_.backup_root.empty()) {
+    for (const auto& leaf : leaves_) {
+      const std::string& dir = leaf->config().backup_dir;
+      // Remove every backup artifact regardless of format (.bak, .cols,
+      // .tail.<k>).
+      auto files = ListFiles(dir, "");
+      if (files.ok()) {
+        for (const std::string& f : *files) RemoveFile(dir + "/" + f).ok();
+      }
+      ::remove(dir.c_str());
+    }
+    ::remove(config_.backup_root.c_str());
+  }
+}
+
+}  // namespace scuba

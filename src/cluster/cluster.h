@@ -1,0 +1,129 @@
+#ifndef SCUBA_CLUSTER_CLUSTER_H_
+#define SCUBA_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/rollover_sim.h"
+#include "ingest/category_log.h"
+#include "ingest/tailer.h"
+#include "server/aggregator.h"
+#include "server/leaf_server.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Configuration of an in-process mini-cluster.
+struct ClusterConfig {
+  size_t num_machines = 2;
+  /// "Each machine currently runs eight leaf servers" (§2) — eight gives
+  /// query parallelism AND lets a rollover take down only 1/8 of a
+  /// machine's data at a time.
+  size_t leaves_per_machine = 8;
+  std::string namespace_prefix = "scubacluster";
+  /// Root directory for per-leaf backup dirs ("" = no disk backups).
+  std::string backup_root;
+  uint64_t leaf_memory_capacity_bytes = 256ull << 20;
+  bool memory_recovery_enabled = true;
+  TableLimits default_table_limits;
+  Clock* clock = nullptr;
+  uint64_t seed = 11;
+};
+
+/// Options for a REAL (in-process, not simulated) rolling upgrade.
+struct RealRolloverOptions {
+  /// Fraction of leaves restarted per batch (paper: 2%).
+  double batch_fraction = 0.02;
+  /// At most this many concurrent restarts per machine (paper: 1).
+  size_t max_restarting_per_machine = 1;
+  /// Use the shared memory path; false forces disk recovery.
+  bool use_shared_memory = true;
+  /// Pump tailers and sample availability between batches.
+  bool pump_tailers_between_batches = true;
+  /// Probability that a leaf's clean shutdown is killed by the watchdog
+  /// (§4.3) and its successor must disk-recover. Failure injection for
+  /// tests/benches; the rollover itself must survive it.
+  double inject_shutdown_kill_rate = 0.0;
+};
+
+/// Outcome of a real rollover.
+struct RealRolloverReport {
+  int64_t total_micros = 0;
+  size_t num_batches = 0;
+  size_t leaves_rolled = 0;
+  size_t shm_recoveries = 0;
+  size_t disk_recoveries = 0;
+  size_t fresh_recoveries = 0;  // leaf held no data (placement skew)
+  size_t watchdog_kills = 0;
+  uint64_t rows_before = 0;
+  uint64_t rows_after = 0;
+  double min_availability = 1.0;
+  std::vector<DashboardSample> timeline;
+};
+
+/// An in-process Scuba mini-cluster: machines x leaves, one aggregator,
+/// a Scribe-like log with tailers, and a rollover orchestrator that
+/// actually exercises the shared-memory restart path on every leaf
+/// (Fig 1 + §4.5, at laptop scale).
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts every leaf (recovering from shm/disk if state exists).
+  Status Start();
+
+  size_t num_leaves() const { return leaves_.size(); }
+  LeafServer* leaf(size_t i) { return leaves_[i].get(); }
+  /// Machine index hosting leaf `i` (leaves are striped round-robin).
+  size_t MachineOf(size_t i) const { return i % config_.num_machines; }
+
+  Aggregator& aggregator() { return aggregator_; }
+  CategoryLog& log() { return log_; }
+
+  /// Adds a tailer for `category` delivering to all leaves.
+  void AddTailer(const std::string& category, size_t batch_rows = 512);
+
+  /// Pumps every tailer once; returns rows delivered.
+  StatusOr<uint64_t> PumpTailers(bool flush = false);
+
+  /// Executes a rolling upgrade over all leaves: `batch_fraction` at a
+  /// time, spread across machines, each leaf restarting through shared
+  /// memory (or disk). Queries keep working throughout with partial
+  /// results.
+  StatusOr<RealRolloverReport> Rollover(const RealRolloverOptions& options);
+
+  /// Cleanly shuts every leaf down to shared memory (for process handoff
+  /// demos). After this the cluster is dead; a new Cluster with the same
+  /// config recovers from shm.
+  Status ShutdownAllToSharedMemory();
+
+  /// Total rows across live leaves.
+  uint64_t TotalRowCount() const;
+
+  /// Removes every shm segment and backup file this cluster created.
+  void Cleanup();
+
+ private:
+  LeafServerConfig MakeLeafConfig(uint32_t leaf_id) const;
+  std::vector<LeafServer*> LeafPointers() const;
+  /// Restarts one leaf via shutdown-to-shm + new server + recover.
+  Status RolloverLeaf(size_t index, const RealRolloverOptions& options,
+                      RealRolloverReport* report);
+
+  ClusterConfig config_;
+  Random random_{11};
+  std::vector<std::unique_ptr<LeafServer>> leaves_;
+  Aggregator aggregator_;
+  CategoryLog log_;
+  std::vector<std::unique_ptr<Tailer>> tailers_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_CLUSTER_H_

@@ -1,0 +1,46 @@
+#ifndef SCUBA_CLUSTER_COST_MODEL_H_
+#define SCUBA_CLUSTER_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace scuba {
+
+/// Per-byte and fixed costs that drive the cluster rollover simulator.
+///
+/// Defaults are calibrated to the paper's production numbers (144 GB
+/// machines, 8 leaves of 10-15 GB each, spinning disks):
+///   - disk read: 120 GB in 20-25 min  =>  ~85-100 MB/s per machine (§1)
+///   - disk translate: 120 GB in ~2.5 h => ~13-15 MB/s per machine (§1)
+///   - shm copy: "3-4 seconds" for 10-15 GB => multi-GB/s memcpy (§4.3)
+///   - per-leaf rollover slot ~2-3 min including "the time to detect that
+///     a leaf is done with recovery and then initiate rollover for the
+///     next one" (§4.5)
+///   - deployment software overhead ~40 min per full rollover (§6)
+///
+/// Benches overwrite the byte rates with locally measured values
+/// (bench_shutdown_restore / bench_disk_vs_shm) before simulating, so the
+/// simulated shapes rest on measured per-byte costs.
+struct CostModel {
+  /// Heap<->shm memcpy rate of one machine (shared by its restarting
+  /// leaves: "memory bandwidth for a machine is constant, no matter how
+  /// many servers try to roll over", §4.2).
+  double shm_copy_bytes_per_sec = 3.0e9;
+  /// Sequential disk read rate of one machine's disk (shared likewise):
+  /// 120 GB in 20-25 min (§1).
+  double disk_read_bytes_per_sec = 100.0e6;
+  /// Disk-format -> heap-format translation rate per machine (the §1
+  /// bottleneck; CPU-bound). Calibrated between the §1 whole-machine
+  /// number (120 GB in 2.5-3 h with 8 leaves sharing) and the §1 rollover
+  /// number (10-12 h at 2% batches).
+  double disk_translate_bytes_per_sec = 20.0e6;
+  /// Fixed seconds per leaf restart slot: process exit/start, recovery
+  /// detection, rollover initiation for the next one (§4.5).
+  double per_leaf_fixed_seconds = 30.0;
+  /// Fixed seconds of deployment tooling per whole-cluster rollover (§6
+  /// attributes tens of minutes of the under-an-hour total to it).
+  double deploy_overhead_seconds = 1500.0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_COST_MODEL_H_

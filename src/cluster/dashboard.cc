@@ -1,0 +1,50 @@
+#include "cluster/dashboard.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scuba {
+
+std::string Dashboard::RenderSample(const DashboardSample& sample,
+                                    size_t bar_width) {
+  size_t old_chars = static_cast<size_t>(
+      std::round(sample.fraction_old * static_cast<double>(bar_width)));
+  size_t roll_chars = static_cast<size_t>(
+      std::round(sample.fraction_restarting * static_cast<double>(bar_width)));
+  if (old_chars + roll_chars > bar_width) {
+    roll_chars = bar_width - old_chars;
+  }
+  size_t new_chars = bar_width - old_chars - roll_chars;
+
+  std::string bar;
+  bar.append(old_chars, 'o');
+  bar.append(roll_chars, '#');
+  bar.append(new_chars, 'n');
+
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "t=%8.0fs  [%s]  old %4.1f%%  roll %4.1f%%  new %4.1f%%",
+                sample.time_seconds, bar.c_str(), sample.fraction_old * 100,
+                sample.fraction_restarting * 100, sample.fraction_new * 100);
+  return line;
+}
+
+std::string Dashboard::Render(const std::vector<DashboardSample>& timeline,
+                              size_t max_rows, size_t bar_width) {
+  std::string out;
+  if (timeline.empty()) return out;
+  size_t stride =
+      timeline.size() <= max_rows ? 1 : (timeline.size() + max_rows - 1) /
+                                            max_rows;
+  for (size_t i = 0; i < timeline.size(); i += stride) {
+    out += RenderSample(timeline[i], bar_width);
+    out += '\n';
+  }
+  if ((timeline.size() - 1) % stride != 0) {
+    out += RenderSample(timeline.back(), bar_width);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace scuba

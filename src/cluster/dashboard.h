@@ -1,0 +1,30 @@
+#ifndef SCUBA_CLUSTER_DASHBOARD_H_
+#define SCUBA_CLUSTER_DASHBOARD_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/rollover_sim.h"
+
+namespace scuba {
+
+/// Renders the rollover progress dashboard of Fig 8 as text: one bar per
+/// sampled time showing the old / rolling-over / new mix of the cluster.
+///
+///   t=     0s  [oooooooooooooooooooooooooooooooo............]  old  98%  roll  2%  new   0%
+///
+/// 'o' = old version, '#' = restarting, 'n' = new version.
+class Dashboard {
+ public:
+  /// Renders up to `max_rows` evenly spaced samples from the timeline.
+  static std::string Render(const std::vector<DashboardSample>& timeline,
+                            size_t max_rows = 16, size_t bar_width = 48);
+
+  /// Renders one sample as a single bar line.
+  static std::string RenderSample(const DashboardSample& sample,
+                                  size_t bar_width = 48);
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_DASHBOARD_H_

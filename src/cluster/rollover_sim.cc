@@ -1,0 +1,123 @@
+#include "cluster/rollover_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace scuba {
+namespace {
+
+// Seconds for one leaf to restart when `contention` leaves share its
+// machine's bandwidth (§4.2: machine bandwidth is constant regardless of
+// how many servers roll over).
+double LeafRestartSeconds(const RolloverSimConfig& config, RecoveryPath path,
+                          size_t contention) {
+  const CostModel& costs = config.costs;
+  double bytes = static_cast<double>(config.bytes_per_leaf);
+  double k = static_cast<double>(contention);
+  if (path == RecoveryPath::kSharedMemory) {
+    // Copy out at shutdown + copy back at startup, both memcpy-bound.
+    double copy = 2.0 * bytes / (costs.shm_copy_bytes_per_sec / k);
+    return copy + costs.per_leaf_fixed_seconds;
+  }
+  double read = bytes / (costs.disk_read_bytes_per_sec / k);
+  double translate = bytes / (costs.disk_translate_bytes_per_sec / k);
+  return read + translate + costs.per_leaf_fixed_seconds;
+}
+
+}  // namespace
+
+RolloverReport SimulateRollover(const RolloverSimConfig& config) {
+  RolloverReport report;
+  Random random(config.seed);
+
+  const size_t total_leaves = config.num_machines * config.leaves_per_machine;
+  if (total_leaves == 0) return report;
+
+  size_t batch_size = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(static_cast<double>(total_leaves) *
+                                        config.batch_fraction)));
+  batch_size = std::min(batch_size,
+                        config.num_machines * config.max_restarting_per_machine);
+
+  // Enumerate leaves machine-striped (slot-major) so consecutive batch
+  // members land on distinct machines: leaf i lives on machine i % M.
+  double now = 0;
+  size_t restarted = 0;
+  double weighted_online = 0;
+
+  auto sample = [&](size_t restarting) {
+    DashboardSample s;
+    s.time_seconds = now;
+    s.fraction_restarting =
+        static_cast<double>(restarting) / static_cast<double>(total_leaves);
+    s.fraction_new =
+        static_cast<double>(restarted) / static_cast<double>(total_leaves);
+    s.fraction_old = 1.0 - s.fraction_restarting - s.fraction_new;
+    report.timeline.push_back(s);
+  };
+
+  sample(0);
+  while (restarted < total_leaves) {
+    size_t batch = std::min(batch_size, total_leaves - restarted);
+
+    // Contention: how many of this batch land on the same machine. With
+    // striping, batch leaves spread evenly; machines receive either
+    // floor(batch/M) or ceil(batch/M) leaves.
+    size_t per_machine =
+        (batch + config.num_machines - 1) / config.num_machines;
+    per_machine = std::min(per_machine, config.max_restarting_per_machine);
+    per_machine = std::max<size_t>(per_machine, 1);
+
+    // Batch duration = slowest member; watchdog kills take the shm dead
+    // time and then disk-recover.
+    double batch_seconds = 0;
+    for (size_t i = 0; i < batch; ++i) {
+      double leaf_seconds;
+      if (config.path == RecoveryPath::kSharedMemory &&
+          random.Bernoulli(config.shutdown_kill_probability)) {
+        ++report.disk_fallbacks;
+        leaf_seconds =
+            config.watchdog_timeout_seconds +
+            LeafRestartSeconds(config, RecoveryPath::kDisk, per_machine);
+      } else {
+        leaf_seconds = LeafRestartSeconds(config, config.path, per_machine);
+      }
+      batch_seconds = std::max(batch_seconds, leaf_seconds);
+    }
+
+    sample(batch);  // batch begins: these leaves go offline
+    double online =
+        1.0 - static_cast<double>(batch) / static_cast<double>(total_leaves);
+    report.min_data_availability =
+        std::min(report.min_data_availability, online);
+    weighted_online += online * batch_seconds;
+
+    now += batch_seconds;
+    restarted += batch;
+    ++report.num_batches;
+    sample(0);  // batch ends: everyone back online
+  }
+
+  // Deployment tooling overhead (§6): serving continues during it.
+  weighted_online += 1.0 * config.costs.deploy_overhead_seconds;
+  now += config.costs.deploy_overhead_seconds;
+  sample(0);
+
+  report.total_seconds = now;
+  report.mean_data_availability = now > 0 ? weighted_online / now : 1.0;
+  return report;
+}
+
+double SimulateFullClusterRestartSeconds(const RolloverSimConfig& config,
+                                         size_t concurrent_per_machine) {
+  size_t k = std::max<size_t>(1, concurrent_per_machine);
+  k = std::min(k, config.leaves_per_machine);
+  size_t waves = (config.leaves_per_machine + k - 1) / k;
+  double wave_seconds = LeafRestartSeconds(config, config.path, k);
+  // All machines proceed in parallel; each machine serializes its waves.
+  return static_cast<double>(waves) * wave_seconds;
+}
+
+}  // namespace scuba

@@ -1,0 +1,87 @@
+#ifndef SCUBA_CLUSTER_ROLLOVER_SIM_H_
+#define SCUBA_CLUSTER_ROLLOVER_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Recovery path used by a simulated rollover.
+enum class RecoveryPath { kSharedMemory, kDisk };
+
+/// Configuration of one simulated cluster rollover (§4.5, Fig 8).
+struct RolloverSimConfig {
+  size_t num_machines = 100;
+  size_t leaves_per_machine = 8;  // Scuba runs 8 leaf servers per machine
+  uint64_t bytes_per_leaf = 15ull << 30;  // 8 x 15 GB = 120 GB per machine
+  /// Fraction of all leaves restarted per batch ("typically ... 2% of the
+  /// leaf servers at a time").
+  double batch_fraction = 0.02;
+  /// Concurrent restarts allowed on one machine. 1 is the paper's policy:
+  /// spread a batch across machines to use every machine's bandwidth.
+  size_t max_restarting_per_machine = 1;
+  RecoveryPath path = RecoveryPath::kSharedMemory;
+  /// Probability a leaf's clean shutdown is killed by the watchdog and the
+  /// new process must disk-recover instead (§4.3).
+  double shutdown_kill_probability = 0.0;
+  /// "The loop ensures that we kill the leaf server if it has not shut
+  /// down after 3 minutes" (§4.3): dead time charged to a killed leaf
+  /// before its disk recovery starts.
+  double watchdog_timeout_seconds = 180.0;
+  CostModel costs;
+  uint64_t seed = 7;
+};
+
+/// One dashboard sample (Fig 8): the cluster mix at a point in time.
+struct DashboardSample {
+  double time_seconds = 0;
+  double fraction_old = 0;         // still on the old version
+  double fraction_restarting = 0;  // offline right now
+  double fraction_new = 0;         // upgraded and serving
+};
+
+/// Results of one simulated rollover.
+struct RolloverReport {
+  double total_seconds = 0;
+  /// Time-weighted mean fraction of data online during the rollover.
+  double mean_data_availability = 0;
+  /// Worst-case instantaneous availability.
+  double min_data_availability = 1.0;
+  /// Leaves that fell back to disk recovery (watchdog kills).
+  size_t disk_fallbacks = 0;
+  size_t num_batches = 0;
+  std::vector<DashboardSample> timeline;
+
+  /// Fraction of a `window_seconds` period (e.g. a week) during which
+  /// 100% of data is available, assuming one rollover per window — the
+  /// paper's "93% of the time" vs "99.5%" metric (§1).
+  double FullAvailabilityFraction(double window_seconds) const {
+    if (window_seconds <= 0) return 0;
+    double frac = 1.0 - total_seconds / window_seconds;
+    return frac < 0 ? 0 : frac;
+  }
+};
+
+/// Batch-synchronous discrete-event simulation of a cluster rollover:
+/// restart `batch_fraction` of leaves at a time, spread across machines
+/// (at most `max_restarting_per_machine` concurrent per machine), wait for
+/// the slowest leaf of the batch, repeat. Per-leaf durations come from the
+/// cost model, with machine bandwidth shared among concurrent restarts on
+/// the same machine.
+RolloverReport SimulateRollover(const RolloverSimConfig& config);
+
+/// Whole-cluster simultaneous restart (§6 closing numbers: "restart the
+/// entire cluster ... in under an hour by using shared memory ... disk
+/// recovery takes about 12 hours" — with ALL machines restarting, limited
+/// by per-machine bandwidth): every machine restarts all of its leaves,
+/// `concurrent_per_machine` at a time. Used by bench_parallel_restart to
+/// show why one-leaf-per-machine batches are the right rollover shape.
+double SimulateFullClusterRestartSeconds(const RolloverSimConfig& config,
+                                         size_t concurrent_per_machine);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CLUSTER_ROLLOVER_SIM_H_

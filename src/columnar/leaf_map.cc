@@ -1,0 +1,95 @@
+#include "columnar/leaf_map.h"
+
+#include <algorithm>
+
+namespace scuba {
+
+StatusOr<Table*> LeafMap::CreateTable(const std::string& name,
+                                      TableLimits limits) {
+  if (GetTable(name) != nullptr) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  tables_.push_back(std::make_unique<Table>(name, limits));
+  return tables_.back().get();
+}
+
+Table* LeafMap::GetTable(const std::string& name) {
+  for (const auto& t : tables_) {
+    if (t != nullptr && t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+const Table* LeafMap::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t != nullptr && t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+Table* LeafMap::GetOrCreateTable(const std::string& name) {
+  Table* existing = GetTable(name);
+  if (existing != nullptr) return existing;
+  tables_.push_back(std::make_unique<Table>(name));
+  return tables_.back().get();
+}
+
+Status LeafMap::DropTable(const std::string& name) {
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (*it != nullptr && (*it)->name() == name) {
+      tables_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("table '" + name + "' not found");
+}
+
+std::vector<std::string> LeafMap::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    if (t != nullptr) names.push_back(t->name());
+  }
+  return names;
+}
+
+uint64_t LeafMap::TotalMemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& t : tables_) {
+    if (t != nullptr) bytes += t->MemoryBytes();
+  }
+  return bytes;
+}
+
+uint64_t LeafMap::TotalRowCount() const {
+  uint64_t rows = 0;
+  for (const auto& t : tables_) {
+    if (t != nullptr) rows += t->RowCount();
+  }
+  return rows;
+}
+
+std::unique_ptr<Table> LeafMap::ReleaseTable(const std::string& name) {
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (*it != nullptr && (*it)->name() == name) {
+      std::unique_ptr<Table> table = std::move(*it);
+      tables_.erase(it);
+      return table;
+    }
+  }
+  return nullptr;
+}
+
+Status LeafMap::AdoptTable(std::unique_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot adopt null table");
+  }
+  if (GetTable(table->name()) != nullptr) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+}  // namespace scuba

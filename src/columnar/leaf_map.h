@@ -1,0 +1,63 @@
+#ifndef SCUBA_COLUMNAR_LEAF_MAP_H_
+#define SCUBA_COLUMNAR_LEAF_MAP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// The leaf map (Fig 2): the root of a leaf server's heap state, holding a
+/// pointer to each table. Each leaf stores a fraction of most tables (§2.1).
+class LeafMap {
+ public:
+  LeafMap() = default;
+  LeafMap(const LeafMap&) = delete;
+  LeafMap& operator=(const LeafMap&) = delete;
+
+  /// Creates a table; fails if the name exists.
+  StatusOr<Table*> CreateTable(const std::string& name,
+                               TableLimits limits = TableLimits());
+
+  /// Returns the table or nullptr.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  /// Returns the table, creating it with default limits if missing.
+  Table* GetOrCreateTable(const std::string& name);
+
+  /// Removes a table entirely. Returns NotFound if absent.
+  Status DropTable(const std::string& name);
+
+  /// Table names in creation order.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Total heap bytes across all tables (used for free-memory placement
+  /// and footprint accounting).
+  uint64_t TotalMemoryBytes() const;
+  uint64_t TotalRowCount() const;
+
+  /// Detaches a table so the shutdown path can free it after copying
+  /// (Fig 6 "delete table from heap").
+  std::unique_ptr<Table> ReleaseTable(const std::string& name);
+
+  /// Adopts a recovered table (restore path). Fails if the name exists.
+  Status AdoptTable(std::unique_ptr<Table> table);
+
+  /// Drops all tables (used to discard a partially-restored state before
+  /// falling back to disk recovery).
+  void Clear() { tables_.clear(); }
+
+ private:
+  // Creation-ordered for deterministic shutdown/restore ordering.
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_COLUMNAR_LEAF_MAP_H_

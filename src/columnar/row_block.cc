@@ -1,0 +1,168 @@
+#include "columnar/row_block.h"
+
+#include <algorithm>
+
+#include "util/varint.h"
+
+namespace scuba {
+namespace {
+
+StatusOr<RowBlockColumn> BuildColumn(ColumnType declared,
+                                     const ColumnValues& values) {
+  switch (declared) {
+    case ColumnType::kInt64:
+      if (!std::holds_alternative<std::vector<int64_t>>(values)) {
+        return Status::InvalidArgument("row block: column type mismatch");
+      }
+      return RowBlockColumn::BuildInt64(std::get<std::vector<int64_t>>(values));
+    case ColumnType::kDouble:
+      if (!std::holds_alternative<std::vector<double>>(values)) {
+        return Status::InvalidArgument("row block: column type mismatch");
+      }
+      return RowBlockColumn::BuildDouble(std::get<std::vector<double>>(values));
+    case ColumnType::kString:
+      if (!std::holds_alternative<std::vector<std::string>>(values)) {
+        return Status::InvalidArgument("row block: column type mismatch");
+      }
+      return RowBlockColumn::BuildString(
+          std::get<std::vector<std::string>>(values));
+  }
+  return Status::InvalidArgument("row block: unknown column type");
+}
+
+size_t ValuesSize(const ColumnValues& values) {
+  return std::visit([](const auto& v) { return v.size(); }, values);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RowBlock>> RowBlock::Build(
+    Schema schema, std::vector<ColumnValues> columns,
+    int64_t creation_timestamp) {
+  if (schema.num_columns() != columns.size()) {
+    return Status::InvalidArgument(
+        "row block: schema/column count mismatch");
+  }
+  auto time_idx = schema.FindColumn(kTimeColumnName);
+  if (!time_idx.has_value() ||
+      schema.column(*time_idx).type != ColumnType::kInt64) {
+    return Status::InvalidArgument(
+        "row block: schema must contain int64 'time' column");
+  }
+  if (columns.empty() || ValuesSize(columns[0]) == 0) {
+    return Status::InvalidArgument("row block: empty block");
+  }
+  const size_t row_count = ValuesSize(columns[0]);
+  if (row_count > kMaxRowsPerBlock) {
+    return Status::InvalidArgument("row block: too many rows");
+  }
+  for (const ColumnValues& v : columns) {
+    if (ValuesSize(v) != row_count) {
+      return Status::InvalidArgument("row block: ragged columns");
+    }
+  }
+
+  const auto& times = std::get<std::vector<int64_t>>(columns[*time_idx]);
+  RowBlockHeader header;
+  header.row_count = static_cast<uint32_t>(row_count);
+  header.creation_timestamp = creation_timestamp;
+  header.min_time = *std::min_element(times.begin(), times.end());
+  header.max_time = *std::max_element(times.begin(), times.end());
+
+  std::vector<std::unique_ptr<RowBlockColumn>> built;
+  built.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    SCUBA_ASSIGN_OR_RETURN(RowBlockColumn col,
+                           BuildColumn(schema.column(i).type, columns[i]));
+    header.size_bytes += col.total_bytes();
+    built.push_back(std::make_unique<RowBlockColumn>(std::move(col)));
+  }
+
+  return std::unique_ptr<RowBlock>(
+      new RowBlock(header, std::move(schema), std::move(built)));
+}
+
+StatusOr<std::unique_ptr<RowBlock>> RowBlock::FromParts(
+    RowBlockHeader header, Schema schema,
+    std::vector<std::unique_ptr<RowBlockColumn>> columns) {
+  if (schema.num_columns() != columns.size()) {
+    return Status::Corruption("row block: schema/column count mismatch");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) {
+      return Status::Corruption("row block: missing column");
+    }
+    if (columns[i]->type() != schema.column(i).type) {
+      return Status::Corruption("row block: column type mismatch vs schema");
+    }
+    if (columns[i]->item_count() != header.row_count) {
+      return Status::Corruption("row block: column row count mismatch");
+    }
+  }
+  return std::unique_ptr<RowBlock>(
+      new RowBlock(header, std::move(schema), std::move(columns)));
+}
+
+const RowBlockColumn* RowBlock::ColumnByName(std::string_view name) const {
+  auto idx = schema_.FindColumn(name);
+  if (!idx.has_value()) return nullptr;
+  return columns_[*idx].get();
+}
+
+uint64_t RowBlock::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& col : columns_) {
+    if (col != nullptr) total += col->total_bytes();
+  }
+  return total;
+}
+
+void RowBlock::SerializeMeta(ByteBuffer* out) const {
+  out->AppendU64(header_.size_bytes);
+  out->AppendU32(header_.row_count);
+  out->AppendU64(static_cast<uint64_t>(header_.min_time));
+  out->AppendU64(static_cast<uint64_t>(header_.max_time));
+  out->AppendU64(static_cast<uint64_t>(header_.creation_timestamp));
+  schema_.Serialize(out);
+  varint::AppendU64(out, columns_.size());
+  for (const auto& col : columns_) {
+    varint::AppendU64(out, col == nullptr ? 0 : col->total_bytes());
+  }
+}
+
+StatusOr<RowBlock::Meta> RowBlock::ParseMeta(Slice* input) {
+  constexpr size_t kFixedPart = 8 + 4 + 8 + 8 + 8;
+  if (input->size() < kFixedPart) {
+    return Status::Corruption("row block meta: truncated header");
+  }
+  Meta meta;
+  const uint8_t* p = input->data();
+  meta.header.size_bytes = ByteBuffer::DecodeU64(p);
+  meta.header.row_count = ByteBuffer::DecodeU32(p + 8);
+  meta.header.min_time = static_cast<int64_t>(ByteBuffer::DecodeU64(p + 12));
+  meta.header.max_time = static_cast<int64_t>(ByteBuffer::DecodeU64(p + 20));
+  meta.header.creation_timestamp =
+      static_cast<int64_t>(ByteBuffer::DecodeU64(p + 28));
+  input->RemovePrefix(kFixedPart);
+
+  SCUBA_ASSIGN_OR_RETURN(meta.schema, Schema::Parse(input));
+
+  uint64_t col_count = 0;
+  if (!varint::ReadU64(input, &col_count)) {
+    return Status::Corruption("row block meta: truncated column count");
+  }
+  if (col_count != meta.schema.num_columns()) {
+    return Status::Corruption("row block meta: column count mismatch");
+  }
+  meta.column_sizes.reserve(col_count);
+  for (uint64_t i = 0; i < col_count; ++i) {
+    uint64_t sz = 0;
+    if (!varint::ReadU64(input, &sz)) {
+      return Status::Corruption("row block meta: truncated column size");
+    }
+    meta.column_sizes.push_back(sz);
+  }
+  return meta;
+}
+
+}  // namespace scuba

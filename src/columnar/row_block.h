@@ -1,0 +1,110 @@
+#ifndef SCUBA_COLUMNAR_ROW_BLOCK_H_
+#define SCUBA_COLUMNAR_ROW_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "columnar/row_block_column.h"
+#include "columnar/schema.h"
+#include "columnar/types.h"
+#include "util/byte_buffer.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Row blocks hold up to 65,536 consecutively-arrived rows (§2.1).
+inline constexpr size_t kMaxRowsPerBlock = 65536;
+/// A row block is additionally capped at 1 GB pre-compression (§2.1).
+inline constexpr uint64_t kMaxRowBlockBytes = 1ull << 30;
+
+/// Typed value vector used to build row block columns.
+using ColumnValues = std::variant<std::vector<int64_t>, std::vector<double>,
+                                  std::vector<std::string>>;
+
+/// Fixed per-block properties (Fig 2 "Header"): byte size, row count, the
+/// min/max of the required time column, and the block creation timestamp.
+struct RowBlockHeader {
+  uint64_t size_bytes = 0;  // total bytes of all column buffers
+  uint32_t row_count = 0;
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+  int64_t creation_timestamp = 0;
+};
+
+/// A row block (Fig 2): header + schema + a vector of POINTERS to row block
+/// columns. The heap layout keeps the indirection (columns are separately
+/// allocated); the shared memory layout flattens it (Fig 4).
+class RowBlock {
+ public:
+  /// Builds a row block from per-column value vectors, which must all have
+  /// the same length (<= kMaxRowsPerBlock) and match the schema's types.
+  /// The schema must contain the int64 "time" column.
+  static StatusOr<std::unique_ptr<RowBlock>> Build(
+      Schema schema, std::vector<ColumnValues> columns,
+      int64_t creation_timestamp);
+
+  /// Reassembles a row block from parts recovered from shm or disk.
+  /// Column order must match the schema; counts are re-validated.
+  static StatusOr<std::unique_ptr<RowBlock>> FromParts(
+      RowBlockHeader header, Schema schema,
+      std::vector<std::unique_ptr<RowBlockColumn>> columns);
+
+  RowBlock(const RowBlock&) = delete;
+  RowBlock& operator=(const RowBlock&) = delete;
+
+  const RowBlockHeader& header() const { return header_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// May be null after the column was released during shutdown copy.
+  const RowBlockColumn* column(size_t i) const { return columns_[i].get(); }
+
+  /// Column for `name`, or nullptr if this block's schema lacks it.
+  const RowBlockColumn* ColumnByName(std::string_view name) const;
+
+  /// True iff the block's [min_time, max_time] intersects [begin, end].
+  /// Nearly all queries carry time predicates; this is the pruning test
+  /// that makes the time column "close to an index" (§2.1).
+  bool OverlapsTimeRange(int64_t begin, int64_t end) const {
+    return header_.max_time >= begin && header_.min_time <= end;
+  }
+
+  /// Total heap bytes currently held by the block's column buffers.
+  uint64_t MemoryBytes() const;
+
+  /// Detaches column `i` (for the shutdown path, which frees each column
+  /// as soon as it has been copied to shared memory, §4.4).
+  std::unique_ptr<RowBlockColumn> ReleaseColumn(size_t i) {
+    return std::move(columns_[i]);
+  }
+
+  /// Serializes header + schema + per-column byte sizes (shared by the shm
+  /// and disk layouts). Column payloads are written separately.
+  void SerializeMeta(ByteBuffer* out) const;
+
+  /// Parsed form of SerializeMeta.
+  struct Meta {
+    RowBlockHeader header;
+    Schema schema;
+    std::vector<uint64_t> column_sizes;
+  };
+  static StatusOr<Meta> ParseMeta(Slice* input);
+
+ private:
+  RowBlock(RowBlockHeader header, Schema schema,
+           std::vector<std::unique_ptr<RowBlockColumn>> columns)
+      : header_(header),
+        schema_(std::move(schema)),
+        columns_(std::move(columns)) {}
+
+  RowBlockHeader header_;
+  Schema schema_;
+  std::vector<std::unique_ptr<RowBlockColumn>> columns_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_COLUMNAR_ROW_BLOCK_H_

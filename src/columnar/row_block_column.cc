@@ -1,0 +1,208 @@
+#include "columnar/row_block_column.h"
+
+#include <cstring>
+
+#include "util/byte_buffer.h"
+#include "util/crc32c.h"
+
+namespace scuba {
+namespace {
+
+// Header field offsets (see class comment for the layout).
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffCompression = 6;
+constexpr size_t kOffType = 8;
+// 4 reserved bytes at offset 12.
+constexpr size_t kOffTotalBytes = 16;
+constexpr size_t kOffItemCount = 24;
+constexpr size_t kOffDictItemCount = 32;
+constexpr size_t kOffDictOffset = 40;
+constexpr size_t kOffDataOffset = 48;
+// Footer field offsets relative to footer start.
+constexpr size_t kFooterOffUncompressed = 0;
+constexpr size_t kFooterOffChecksum = 8;
+constexpr size_t kFooterOffEndMagic = 12;
+
+uint64_t ReadU64At(const uint8_t* base, size_t off) {
+  return ByteBuffer::DecodeU64(base + off);
+}
+uint32_t ReadU32At(const uint8_t* base, size_t off) {
+  return ByteBuffer::DecodeU32(base + off);
+}
+uint16_t ReadU16At(const uint8_t* base, size_t off) {
+  return static_cast<uint16_t>(base[off] |
+                               (static_cast<uint16_t>(base[off + 1]) << 8));
+}
+
+// The footer offset is not stored as a header field: it is derivable as
+// total_bytes - kFooterSize, and keeping a single source of truth avoids
+// inconsistent-offset corruption classes. (Fig 3 lists it; we document the
+// derivation instead of duplicating state.)
+size_t FooterOffset(uint64_t total_bytes) {
+  return static_cast<size_t>(total_bytes) - RowBlockColumn::kFooterSize;
+}
+
+}  // namespace
+
+RowBlockColumn RowBlockColumn::Assemble(ColumnType type,
+                                        column_codec::EncodedColumn encoded,
+                                        uint64_t item_count,
+                                        uint64_t uncompressed_bytes) {
+  const size_t dict_size = encoded.dict.size();
+  const size_t data_size = encoded.data.size();
+  const size_t dict_offset = kHeaderSize;
+  const size_t data_offset = dict_offset + dict_size;
+  const size_t footer_offset = data_offset + data_size;
+  const size_t total = footer_offset + kFooterSize;
+
+  std::unique_ptr<uint8_t[]> buf(new uint8_t[total]);
+  uint8_t* p = buf.get();
+  std::memset(p, 0, kHeaderSize);
+  ByteBuffer::EncodeU32(p + kOffMagic, kMagic);
+  p[kOffVersion] = static_cast<uint8_t>(kVersion);
+  p[kOffVersion + 1] = static_cast<uint8_t>(kVersion >> 8);
+  p[kOffCompression] = static_cast<uint8_t>(encoded.chain);
+  p[kOffCompression + 1] = static_cast<uint8_t>(encoded.chain >> 8);
+  ByteBuffer::EncodeU32(p + kOffType, static_cast<uint32_t>(type));
+  ByteBuffer::EncodeU64(p + kOffTotalBytes, total);
+  ByteBuffer::EncodeU64(p + kOffItemCount, item_count);
+  ByteBuffer::EncodeU64(p + kOffDictItemCount, encoded.dict_item_count);
+  ByteBuffer::EncodeU64(p + kOffDictOffset, dict_offset);
+  ByteBuffer::EncodeU64(p + kOffDataOffset, data_offset);
+
+  if (dict_size > 0) std::memcpy(p + dict_offset, encoded.dict.data(), dict_size);
+  if (data_size > 0) std::memcpy(p + data_offset, encoded.data.data(), data_size);
+
+  uint8_t* footer = p + footer_offset;
+  ByteBuffer::EncodeU64(footer + kFooterOffUncompressed, uncompressed_bytes);
+  uint32_t crc = crc32c::Value(p, footer_offset + 8);
+  ByteBuffer::EncodeU32(footer + kFooterOffChecksum, crc32c::Mask(crc));
+  ByteBuffer::EncodeU32(footer + kFooterOffEndMagic, kEndMagic);
+
+  return RowBlockColumn(std::move(buf), total);
+}
+
+RowBlockColumn RowBlockColumn::BuildInt64(const std::vector<int64_t>& values) {
+  return Assemble(ColumnType::kInt64, column_codec::EncodeInt64(values),
+                  values.size(), values.size() * 8);
+}
+
+RowBlockColumn RowBlockColumn::BuildDouble(const std::vector<double>& values) {
+  return Assemble(ColumnType::kDouble, column_codec::EncodeDouble(values),
+                  values.size(), values.size() * 8);
+}
+
+RowBlockColumn RowBlockColumn::BuildString(
+    const std::vector<std::string>& values) {
+  uint64_t logical = 0;
+  for (const std::string& v : values) logical += v.size() + 8;
+  return Assemble(ColumnType::kString, column_codec::EncodeString(values),
+                  values.size(), logical);
+}
+
+Status RowBlockColumn::ValidateBuffer(Slice buffer, bool verify_checksum) {
+  if (buffer.size() < kHeaderSize + kFooterSize) {
+    return Status::Corruption("rbc: buffer smaller than header + footer");
+  }
+  const uint8_t* p = buffer.data();
+  if (ReadU32At(p, kOffMagic) != kMagic) {
+    return Status::Corruption("rbc: bad magic");
+  }
+  if (ReadU16At(p, kOffVersion) != kVersion) {
+    return Status::Corruption("rbc: unsupported version");
+  }
+  uint64_t total = ReadU64At(p, kOffTotalBytes);
+  if (total != buffer.size()) {
+    return Status::Corruption("rbc: total bytes mismatch");
+  }
+  uint64_t dict_offset = ReadU64At(p, kOffDictOffset);
+  uint64_t data_offset = ReadU64At(p, kOffDataOffset);
+  size_t footer_offset = FooterOffset(total);
+  if (dict_offset != kHeaderSize || data_offset < dict_offset ||
+      data_offset > footer_offset) {
+    return Status::Corruption("rbc: inconsistent section offsets");
+  }
+  uint32_t type = ReadU32At(p, kOffType);
+  if (type < 1 || type > 3) {
+    return Status::Corruption("rbc: invalid column type");
+  }
+  const uint8_t* footer = p + footer_offset;
+  if (ReadU32At(footer, kFooterOffEndMagic) != kEndMagic) {
+    return Status::Corruption("rbc: bad end magic");
+  }
+  if (verify_checksum) {
+    uint32_t stored = crc32c::Unmask(ReadU32At(footer, kFooterOffChecksum));
+    uint32_t actual = crc32c::Value(p, footer_offset + 8);
+    if (stored != actual) {
+      return Status::Corruption("rbc: checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<RowBlockColumn> RowBlockColumn::FromBuffer(
+    std::unique_ptr<uint8_t[]> buffer, size_t size, bool verify_checksum) {
+  SCUBA_RETURN_IF_ERROR(
+      ValidateBuffer(Slice(buffer.get(), size), verify_checksum));
+  return RowBlockColumn(std::move(buffer), size);
+}
+
+ColumnType RowBlockColumn::type() const {
+  return static_cast<ColumnType>(ReadU32At(buffer_.get(), kOffType));
+}
+
+column_codec::ChainCode RowBlockColumn::compression_chain() const {
+  return ReadU16At(buffer_.get(), kOffCompression);
+}
+
+uint64_t RowBlockColumn::item_count() const {
+  return ReadU64At(buffer_.get(), kOffItemCount);
+}
+
+uint64_t RowBlockColumn::dict_item_count() const {
+  return ReadU64At(buffer_.get(), kOffDictItemCount);
+}
+
+uint64_t RowBlockColumn::uncompressed_bytes() const {
+  return ReadU64At(buffer_.get(), FooterOffset(size_) + kFooterOffUncompressed);
+}
+
+Slice RowBlockColumn::DictSlice() const {
+  uint64_t dict_offset = ReadU64At(buffer_.get(), kOffDictOffset);
+  uint64_t data_offset = ReadU64At(buffer_.get(), kOffDataOffset);
+  return Slice(buffer_.get() + dict_offset,
+               static_cast<size_t>(data_offset - dict_offset));
+}
+
+Slice RowBlockColumn::DataSlice() const {
+  uint64_t data_offset = ReadU64At(buffer_.get(), kOffDataOffset);
+  return Slice(buffer_.get() + data_offset,
+               FooterOffset(size_) - static_cast<size_t>(data_offset));
+}
+
+Status RowBlockColumn::DecodeInt64(std::vector<int64_t>* values) const {
+  if (type() != ColumnType::kInt64) {
+    return Status::InvalidArgument("rbc: not an int64 column");
+  }
+  return column_codec::DecodeInt64(compression_chain(), DictSlice(),
+                                   DataSlice(), item_count(), values);
+}
+
+Status RowBlockColumn::DecodeDouble(std::vector<double>* values) const {
+  if (type() != ColumnType::kDouble) {
+    return Status::InvalidArgument("rbc: not a double column");
+  }
+  return column_codec::DecodeDouble(compression_chain(), DictSlice(),
+                                    DataSlice(), item_count(), values);
+}
+
+Status RowBlockColumn::DecodeString(std::vector<std::string>* values) const {
+  if (type() != ColumnType::kString) {
+    return Status::InvalidArgument("rbc: not a string column");
+  }
+  return column_codec::DecodeString(compression_chain(), DictSlice(),
+                                    DataSlice(), item_count(), values);
+}
+
+}  // namespace scuba

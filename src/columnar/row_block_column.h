@@ -1,0 +1,113 @@
+#ifndef SCUBA_COLUMNAR_ROW_BLOCK_COLUMN_H_
+#define SCUBA_COLUMNAR_ROW_BLOCK_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "compress/column_codec.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// A row block column (RBC, Fig 3): all values of one column for every row
+/// in a row block, stored as ONE contiguous byte buffer:
+///
+///   [Header | dictionary | data | Footer]
+///
+/// Every internal location (dictionary, data, footer) is an OFFSET from the
+/// buffer base, never a pointer. This is the property the paper's restart
+/// mechanism rests on: "using offsets enables us to copy the entire row
+/// block column between heap and shared memory in one memory copy
+/// operation. Only the address of the row block column itself needs to be
+/// changed for its new location" (§2.1, §4.4).
+///
+/// Header (fixed 56 bytes, little-endian):
+///   u32 magic            'RBC1'
+///   u16 version          layout version of this column format
+///   u16 compression      codec chain code (column_codec::ChainCode)
+///   u32 column type      ColumnType
+///   u32 reserved
+///   u64 total bytes      number of bytes used by the column (whole buffer)
+///   u64 item count       number of items in the column
+///   u64 dict item count  number of items in the dictionary
+///   u64 dict offset      offset at which the dictionary is found
+///   u64 data offset      offset at which the data is found
+///   u64 footer offset    offset at which the footer is found
+///
+/// Footer (16 bytes):
+///   u64 uncompressed bytes  logical (pre-compression) size of the column
+///   u32 checksum            masked CRC32C of bytes [0, footer_offset + 8)
+///   u32 end magic           'RBCE'
+class RowBlockColumn {
+ public:
+  static constexpr uint32_t kMagic = 0x31434252;     // "RBC1"
+  static constexpr uint32_t kEndMagic = 0x45434252;  // "RBCE"
+  static constexpr uint16_t kVersion = 1;
+  static constexpr size_t kHeaderSize = 56;
+  static constexpr size_t kFooterSize = 16;
+
+  RowBlockColumn(RowBlockColumn&&) noexcept = default;
+  RowBlockColumn& operator=(RowBlockColumn&&) noexcept = default;
+  RowBlockColumn(const RowBlockColumn&) = delete;
+  RowBlockColumn& operator=(const RowBlockColumn&) = delete;
+
+  /// Builders: encode a typed value vector into a fresh column buffer.
+  static RowBlockColumn BuildInt64(const std::vector<int64_t>& values);
+  static RowBlockColumn BuildDouble(const std::vector<double>& values);
+  static RowBlockColumn BuildString(const std::vector<std::string>& values);
+
+  /// Adopts a buffer that already holds a serialized column (e.g. memcpy'd
+  /// out of a shared memory segment). Validates magic and offsets, plus the
+  /// CRC32C when `verify_checksum` (skipping the CRC makes adoption pure
+  /// memcpy-speed, which is what the paper's restore path does).
+  static StatusOr<RowBlockColumn> FromBuffer(std::unique_ptr<uint8_t[]> buffer,
+                                             size_t size,
+                                             bool verify_checksum = true);
+
+  /// Validates an in-place serialized column without copying (used to check
+  /// a column while it still lives in a shared memory segment).
+  static Status ValidateBuffer(Slice buffer, bool verify_checksum = true);
+
+  // Header accessors.
+  ColumnType type() const;
+  column_codec::ChainCode compression_chain() const;
+  uint64_t item_count() const;
+  uint64_t dict_item_count() const;
+  uint64_t total_bytes() const { return size_; }
+  uint64_t uncompressed_bytes() const;
+
+  /// The whole contiguous buffer; relocating the column IS memcpy'ing this.
+  Slice AsSlice() const { return Slice(buffer_.get(), size_); }
+  const uint8_t* data() const { return buffer_.get(); }
+
+  // Decoders (full column materialization).
+  Status DecodeInt64(std::vector<int64_t>* values) const;
+  Status DecodeDouble(std::vector<double>* values) const;
+  Status DecodeString(std::vector<std::string>* values) const;
+
+  /// Integrity check of this column's buffer.
+  Status Validate() const { return ValidateBuffer(AsSlice()); }
+
+ private:
+  RowBlockColumn(std::unique_ptr<uint8_t[]> buffer, size_t size)
+      : buffer_(std::move(buffer)), size_(size) {}
+
+  static RowBlockColumn Assemble(ColumnType type,
+                                 column_codec::EncodedColumn encoded,
+                                 uint64_t item_count,
+                                 uint64_t uncompressed_bytes);
+
+  Slice DictSlice() const;
+  Slice DataSlice() const;
+
+  std::unique_ptr<uint8_t[]> buffer_;
+  size_t size_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_COLUMNAR_ROW_BLOCK_COLUMN_H_

@@ -1,0 +1,64 @@
+#ifndef SCUBA_COLUMNAR_TYPES_H_
+#define SCUBA_COLUMNAR_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace scuba {
+
+/// Column value types supported by the store. Every table additionally has
+/// a required int64 "time" column holding a unix timestamp (§2.1).
+enum class ColumnType : uint8_t {
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+inline std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+/// A single cell value.
+using Value = std::variant<int64_t, double, std::string>;
+
+inline ColumnType ValueType(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return ColumnType::kInt64;
+    case 1:
+      return ColumnType::kDouble;
+    default:
+      return ColumnType::kString;
+  }
+}
+
+/// Default value used to fill a column for rows that did not supply it
+/// (row blocks have a single schema; sparse rows are densified).
+inline Value DefaultValue(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return Value(int64_t{0});
+    case ColumnType::kDouble:
+      return Value(0.0);
+    case ColumnType::kString:
+      return Value(std::string());
+  }
+  return Value(int64_t{0});
+}
+
+/// Name of the required timestamp column.
+inline constexpr const char* kTimeColumnName = "time";
+
+}  // namespace scuba
+
+#endif  // SCUBA_COLUMNAR_TYPES_H_

@@ -1,0 +1,35 @@
+#ifndef SCUBA_COMPRESS_BITPACK_H_
+#define SCUBA_COMPRESS_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/byte_buffer.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace scuba {
+namespace bitpack {
+
+/// Smallest bit width that can represent every value in `values`.
+/// Returns 0 for an empty vector or all-zero values (decoder then emits 0s).
+int RequiredWidth(const std::vector<uint64_t>& values);
+
+/// Packs each value into `width` bits, LSB-first within a little-endian
+/// bit stream. Values must all fit in `width` bits.
+void Pack(const std::vector<uint64_t>& values, int width, ByteBuffer* out);
+
+/// Unpacks `count` values of `width` bits from `input`.
+/// Returns Corruption if the input is too short.
+Status Unpack(Slice input, int width, size_t count,
+              std::vector<uint64_t>* values);
+
+/// Number of bytes Pack will produce for `count` values of `width` bits.
+inline size_t PackedSize(size_t count, int width) {
+  return (count * static_cast<size_t>(width) + 7) / 8;
+}
+
+}  // namespace bitpack
+}  // namespace scuba
+
+#endif  // SCUBA_COMPRESS_BITPACK_H_

@@ -1,0 +1,55 @@
+#include "compress/delta.h"
+
+#include "util/varint.h"
+
+namespace scuba {
+namespace delta {
+
+void Encode(std::vector<int64_t>* values) {
+  int64_t prev = 0;
+  bool first = true;
+  for (int64_t& v : *values) {
+    if (first) {
+      prev = v;
+      first = false;
+      continue;
+    }
+    int64_t cur = v;
+    // Wrapping subtraction: defined on the unsigned representation so that
+    // arbitrary int64 inputs round-trip.
+    v = static_cast<int64_t>(static_cast<uint64_t>(cur) -
+                             static_cast<uint64_t>(prev));
+    prev = cur;
+  }
+}
+
+void Decode(std::vector<int64_t>* values) {
+  uint64_t acc = 0;
+  bool first = true;
+  for (int64_t& v : *values) {
+    if (first) {
+      acc = static_cast<uint64_t>(v);
+      first = false;
+      continue;
+    }
+    acc += static_cast<uint64_t>(v);
+    v = static_cast<int64_t>(acc);
+  }
+}
+
+std::vector<uint64_t> ZigZagAll(const std::vector<int64_t>& values) {
+  std::vector<uint64_t> out;
+  out.reserve(values.size());
+  for (int64_t v : values) out.push_back(varint::ZigZagEncode(v));
+  return out;
+}
+
+std::vector<int64_t> UnZigZagAll(const std::vector<uint64_t>& values) {
+  std::vector<int64_t> out;
+  out.reserve(values.size());
+  for (uint64_t v : values) out.push_back(varint::ZigZagDecode(v));
+  return out;
+}
+
+}  // namespace delta
+}  // namespace scuba

@@ -1,0 +1,28 @@
+#ifndef SCUBA_COMPRESS_DELTA_H_
+#define SCUBA_COMPRESS_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scuba {
+namespace delta {
+
+/// Delta encoding for int64 sequences. Scuba's "time" column arrives in
+/// roughly chronological order, so consecutive deltas are tiny; combined
+/// with zigzag + bit packing this compresses timestamps dramatically.
+
+/// Replaces values[i] (i >= 1) with values[i] - values[i-1]; values[0] is
+/// kept as the base. In-place; inverse of Decode.
+void Encode(std::vector<int64_t>* values);
+
+/// Reverses Encode via prefix sum.
+void Decode(std::vector<int64_t>* values);
+
+/// Maps signed deltas to unsigned via zigzag so small magnitudes pack small.
+std::vector<uint64_t> ZigZagAll(const std::vector<int64_t>& values);
+std::vector<int64_t> UnZigZagAll(const std::vector<uint64_t>& values);
+
+}  // namespace delta
+}  // namespace scuba
+
+#endif  // SCUBA_COMPRESS_DELTA_H_

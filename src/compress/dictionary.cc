@@ -1,0 +1,110 @@
+#include "compress/dictionary.h"
+
+#include <unordered_set>
+
+#include "util/varint.h"
+
+namespace scuba {
+namespace dictionary {
+
+std::vector<uint64_t> EncodeStrings(const std::vector<std::string>& values,
+                                    std::vector<std::string>* dict_values) {
+  dict_values->clear();
+  std::vector<uint64_t> indexes;
+  indexes.reserve(values.size());
+  // Keys are owned copies: views into dict_values would dangle for SSO
+  // strings when the vector reallocates.
+  std::unordered_map<std::string, uint64_t> lookup;
+  for (const std::string& v : values) {
+    auto [it, inserted] = lookup.try_emplace(v, dict_values->size());
+    if (inserted) dict_values->push_back(v);
+    indexes.push_back(it->second);
+  }
+  return indexes;
+}
+
+std::vector<uint64_t> EncodeInts(const std::vector<int64_t>& values,
+                                 std::vector<int64_t>* dict_values) {
+  dict_values->clear();
+  std::vector<uint64_t> indexes;
+  indexes.reserve(values.size());
+  std::unordered_map<int64_t, uint64_t> lookup;
+  for (int64_t v : values) {
+    auto [it, inserted] = lookup.try_emplace(v, dict_values->size());
+    if (inserted) dict_values->push_back(v);
+    indexes.push_back(it->second);
+  }
+  return indexes;
+}
+
+void SerializeStringDict(const std::vector<std::string>& dict_values,
+                         ByteBuffer* out) {
+  varint::AppendU64(out, dict_values.size());
+  for (const std::string& v : dict_values) {
+    varint::AppendU64(out, v.size());
+    out->Append(v.data(), v.size());
+  }
+}
+
+Status ParseStringDict(Slice input, std::vector<std::string>* dict_values) {
+  dict_values->clear();
+  uint64_t count = 0;
+  if (!varint::ReadU64(&input, &count)) {
+    return Status::Corruption("string dict: truncated count");
+  }
+  dict_values->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    if (!varint::ReadU64(&input, &len) || input.size() < len) {
+      return Status::Corruption("string dict: truncated entry");
+    }
+    dict_values->emplace_back(reinterpret_cast<const char*>(input.data()),
+                              len);
+    input.RemovePrefix(len);
+  }
+  return Status::OK();
+}
+
+void SerializeIntDict(const std::vector<int64_t>& dict_values,
+                      ByteBuffer* out) {
+  varint::AppendU64(out, dict_values.size());
+  for (int64_t v : dict_values) varint::AppendI64(out, v);
+}
+
+Status ParseIntDict(Slice input, std::vector<int64_t>* dict_values) {
+  dict_values->clear();
+  uint64_t count = 0;
+  if (!varint::ReadU64(&input, &count)) {
+    return Status::Corruption("int dict: truncated count");
+  }
+  dict_values->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t v = 0;
+    if (!varint::ReadI64(&input, &v)) {
+      return Status::Corruption("int dict: truncated entry");
+    }
+    dict_values->push_back(v);
+  }
+  return Status::OK();
+}
+
+size_t CountDistinct(const std::vector<std::string>& values, size_t limit) {
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& v : values) {
+    seen.insert(std::string_view(v));
+    if (seen.size() > limit) return limit + 1;
+  }
+  return seen.size();
+}
+
+size_t CountDistinct(const std::vector<int64_t>& values, size_t limit) {
+  std::unordered_set<int64_t> seen;
+  for (int64_t v : values) {
+    seen.insert(v);
+    if (seen.size() > limit) return limit + 1;
+  }
+  return seen.size();
+}
+
+}  // namespace dictionary
+}  // namespace scuba

@@ -1,0 +1,53 @@
+#ifndef SCUBA_COMPRESS_DICTIONARY_H_
+#define SCUBA_COMPRESS_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/byte_buffer.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace scuba {
+namespace dictionary {
+
+/// Dictionary encoding: the distinct values of a column are stored once in
+/// a dictionary blob; the column body becomes a vector of dictionary
+/// indexes (then bit-packed by the caller). This is the highest-leverage
+/// codec for Scuba-style service logs, whose string columns have tiny
+/// cardinality relative to row count.
+
+/// Builds a string dictionary in first-occurrence order.
+/// Returns the per-row index vector; `*dict_values` receives the distinct
+/// values in index order.
+std::vector<uint64_t> EncodeStrings(const std::vector<std::string>& values,
+                                    std::vector<std::string>* dict_values);
+
+/// Builds an int64 dictionary in first-occurrence order.
+std::vector<uint64_t> EncodeInts(const std::vector<int64_t>& values,
+                                 std::vector<int64_t>* dict_values);
+
+/// Serializes a string dictionary as varint(count) then varint(len) + bytes
+/// per entry.
+void SerializeStringDict(const std::vector<std::string>& dict_values,
+                         ByteBuffer* out);
+Status ParseStringDict(Slice input, std::vector<std::string>* dict_values);
+
+/// Serializes an int64 dictionary as varint(count) then zigzag-varints.
+void SerializeIntDict(const std::vector<int64_t>& dict_values,
+                      ByteBuffer* out);
+Status ParseIntDict(Slice input, std::vector<int64_t>* dict_values);
+
+/// Counts distinct values without materializing a dictionary; used by the
+/// codec chooser to decide whether dictionary encoding pays off. Stops
+/// early (returning limit + 1) once more than `limit` distinct are seen.
+size_t CountDistinct(const std::vector<std::string>& values, size_t limit);
+size_t CountDistinct(const std::vector<int64_t>& values, size_t limit);
+
+}  // namespace dictionary
+}  // namespace scuba
+
+#endif  // SCUBA_COMPRESS_DICTIONARY_H_

@@ -1,0 +1,179 @@
+#include "compress/lz4.h"
+
+#include <cstring>
+
+namespace scuba {
+namespace lz4 {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+// The LZ4 block format requires the last 5 bytes to be literals and no match
+// to start within the last 12 bytes.
+constexpr size_t kLastLiterals = 5;
+constexpr size_t kMatchFindLimitMargin = 12;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashLog = 16;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashLog);
+}
+
+// Writes a length in the LZ4 extended-length scheme (255-run continuation).
+void AppendExtLength(ByteBuffer* out, size_t len) {
+  while (len >= 255) {
+    out->AppendU8(255);
+    len -= 255;
+  }
+  out->AppendU8(static_cast<uint8_t>(len));
+}
+
+void EmitSequence(ByteBuffer* out, const uint8_t* literals, size_t lit_len,
+                  size_t offset, size_t match_len) {
+  // Token: high nibble literal length, low nibble (match_len - kMinMatch).
+  size_t ml_code = match_len - kMinMatch;
+  uint8_t token = static_cast<uint8_t>(
+      (lit_len >= 15 ? 15 : lit_len) << 4 | (ml_code >= 15 ? 15 : ml_code));
+  out->AppendU8(token);
+  if (lit_len >= 15) AppendExtLength(out, lit_len - 15);
+  out->Append(literals, lit_len);
+  out->AppendU16(static_cast<uint16_t>(offset));
+  if (ml_code >= 15) AppendExtLength(out, ml_code - 15);
+}
+
+void EmitFinalLiterals(ByteBuffer* out, const uint8_t* literals,
+                       size_t lit_len) {
+  uint8_t token =
+      static_cast<uint8_t>((lit_len >= 15 ? 15 : lit_len) << 4);
+  out->AppendU8(token);
+  if (lit_len >= 15) AppendExtLength(out, lit_len - 15);
+  out->Append(literals, lit_len);
+}
+
+}  // namespace
+
+size_t CompressBound(size_t n) { return n + n / 255 + 16; }
+
+void Compress(Slice input, ByteBuffer* out) {
+  const uint8_t* const base = input.data();
+  const size_t n = input.size();
+
+  if (n < kMatchFindLimitMargin + kMinMatch) {
+    // Too short to contain any match: one literal run.
+    EmitFinalLiterals(out, base, n);
+    return;
+  }
+
+  // Hash table of absolute positions + 1 (0 = empty), valid within this block.
+  static thread_local uint32_t table[1u << kHashLog];
+  std::memset(table, 0, sizeof(table));
+
+  const size_t match_limit = n - kMatchFindLimitMargin;
+  const size_t input_end = n - kLastLiterals;
+  size_t anchor = 0;
+  size_t pos = 0;
+
+  while (pos < match_limit) {
+    // Find a match for the 4 bytes at pos.
+    uint32_t h = Hash(Load32(base + pos));
+    size_t candidate = table[h] == 0 ? SIZE_MAX : table[h] - 1;
+    table[h] = static_cast<uint32_t>(pos + 1);
+
+    if (candidate == SIZE_MAX || pos - candidate > kMaxOffset ||
+        Load32(base + candidate) != Load32(base + pos)) {
+      ++pos;
+      continue;
+    }
+
+    // Extend the match forward (must not run into the end margin).
+    size_t match_len = kMinMatch;
+    const size_t max_len = input_end - pos;
+    while (match_len < max_len &&
+           base[candidate + match_len] == base[pos + match_len]) {
+      ++match_len;
+    }
+
+    EmitSequence(out, base + anchor, pos - anchor, pos - candidate, match_len);
+    pos += match_len;
+    anchor = pos;
+
+    // Seed the table inside the match so nearby repeats are found.
+    if (pos < match_limit) {
+      table[Hash(Load32(base + pos - 2))] = static_cast<uint32_t>(pos - 1);
+    }
+  }
+
+  EmitFinalLiterals(out, base + anchor, n - anchor);
+}
+
+Status Decompress(Slice input, uint8_t* dst, size_t dst_size) {
+  const uint8_t* src = input.data();
+  const uint8_t* const src_end = src + input.size();
+  uint8_t* out = dst;
+  uint8_t* const out_end = dst + dst_size;
+
+  auto read_ext_length = [&](size_t* len) -> bool {
+    uint8_t byte;
+    do {
+      if (src >= src_end) return false;
+      byte = *src++;
+      *len += byte;
+    } while (byte == 255);
+    return true;
+  };
+
+  while (src < src_end) {
+    const uint8_t token = *src++;
+
+    // Literals.
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 && !read_ext_length(&lit_len)) {
+      return Status::Corruption("lz4: truncated literal length");
+    }
+    if (static_cast<size_t>(src_end - src) < lit_len ||
+        static_cast<size_t>(out_end - out) < lit_len) {
+      return Status::Corruption("lz4: literal run overflows buffer");
+    }
+    std::memcpy(out, src, lit_len);
+    src += lit_len;
+    out += lit_len;
+
+    if (src >= src_end) break;  // Final literal run has no match part.
+
+    // Match.
+    if (src_end - src < 2) return Status::Corruption("lz4: truncated offset");
+    size_t offset = static_cast<size_t>(src[0]) |
+                    (static_cast<size_t>(src[1]) << 8);
+    src += 2;
+    if (offset == 0 || offset > static_cast<size_t>(out - dst)) {
+      return Status::Corruption("lz4: offset out of range");
+    }
+
+    size_t match_len = (token & 0x0F);
+    if (match_len == 15 && !read_ext_length(&match_len)) {
+      return Status::Corruption("lz4: truncated match length");
+    }
+    match_len += kMinMatch;
+    if (static_cast<size_t>(out_end - out) < match_len) {
+      return Status::Corruption("lz4: match overflows buffer");
+    }
+
+    // Byte-wise copy: offsets shorter than the match length replicate.
+    const uint8_t* match = out - offset;
+    for (size_t i = 0; i < match_len; ++i) out[i] = match[i];
+    out += match_len;
+  }
+
+  if (out != out_end) {
+    return Status::Corruption("lz4: decompressed size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace lz4
+}  // namespace scuba

@@ -1,0 +1,39 @@
+#ifndef SCUBA_COMPRESS_LZ4_H_
+#define SCUBA_COMPRESS_LZ4_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/byte_buffer.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace scuba {
+namespace lz4 {
+
+/// From-scratch implementation of the LZ4 block format (the paper compresses
+/// every column with lz4 as one of its stages). Greedy hash-chain-free
+/// matcher with a 64K-entry hash table; output is standard LZ4 block
+/// sequences: token, literals, little-endian 16-bit offset, match length.
+///
+/// This is a *block* codec: no frame header, no checksum (the row block
+/// column carries its own CRC32C in its footer).
+
+/// Upper bound on compressed size for an input of `n` bytes
+/// (worst case is incompressible data plus token overhead).
+size_t CompressBound(size_t n);
+
+/// Compresses `input`, appending to `*out`. Always succeeds; output may be
+/// larger than the input for incompressible data (callers typically keep
+/// the raw bytes in that case).
+void Compress(Slice input, ByteBuffer* out);
+
+/// Decompresses an LZ4 block produced by Compress (or any standard LZ4
+/// block) into `dst[0, dst_size)`. `dst_size` must be the exact size of the
+/// original input. Returns Corruption on malformed input.
+Status Decompress(Slice input, uint8_t* dst, size_t dst_size);
+
+}  // namespace lz4
+}  // namespace scuba
+
+#endif  // SCUBA_COMPRESS_LZ4_H_

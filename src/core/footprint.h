@@ -1,0 +1,31 @@
+#ifndef SCUBA_CORE_FOOTPRINT_H_
+#define SCUBA_CORE_FOOTPRINT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace scuba {
+
+/// Tracks the peak combined footprint (heap bytes + shared memory bytes)
+/// during shutdown/restore. The paper's chunked, free-as-you-copy scheme
+/// (§4.4) keeps this peak within one row block column of the live data
+/// size; tests and bench_footprint assert that invariant.
+class FootprintTracker {
+ public:
+  void Observe(uint64_t bytes) {
+    last_ = bytes;
+    peak_ = std::max(peak_, bytes);
+  }
+
+  uint64_t peak() const { return peak_; }
+  uint64_t last() const { return last_; }
+  void Reset() { peak_ = last_ = 0; }
+
+ private:
+  uint64_t peak_ = 0;
+  uint64_t last_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_FOOTPRINT_H_

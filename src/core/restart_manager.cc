@@ -1,0 +1,109 @@
+#include "core/restart_manager.h"
+
+#include "disk/file.h"
+#include "shm/shm_segment.h"
+#include "util/logging.h"
+
+namespace scuba {
+
+std::string_view RecoverySourceName(RecoverySource source) {
+  switch (source) {
+    case RecoverySource::kSharedMemory:
+      return "shared-memory";
+    case RecoverySource::kDisk:
+      return "disk";
+    case RecoverySource::kFresh:
+      return "fresh";
+  }
+  return "unknown";
+}
+
+std::string_view BackupFormatKindName(BackupFormatKind kind) {
+  switch (kind) {
+    case BackupFormatKind::kRowMajor:
+      return "row-major";
+    case BackupFormatKind::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+RestartManager::RestartManager(RestartConfig config)
+    : config_(std::move(config)) {
+  // Keep the sub-option leaf coordinates in sync with the top-level ones
+  // so callers only have to set them once.
+  config_.restore.namespace_prefix = config_.namespace_prefix;
+  config_.restore.leaf_id = config_.leaf_id;
+  config_.shutdown.namespace_prefix = config_.namespace_prefix;
+  config_.shutdown.leaf_id = config_.leaf_id;
+}
+
+size_t RestartManager::ScrubSharedMemory() {
+  return ShmSegment::RemoveAll("/" + config_.namespace_prefix + "_leaf_" +
+                               std::to_string(config_.leaf_id) + "_");
+}
+
+StatusOr<RecoveryResult> RestartManager::Recover(LeafMap* leaf_map,
+                                                 int64_t now) {
+  if (leaf_map->num_tables() != 0) {
+    return Status::FailedPrecondition("recover: leaf map must be empty");
+  }
+  RecoveryResult result;
+
+  if (config_.memory_recovery_enabled) {
+    Status s = RestoreFromShm(leaf_map, config_.restore, &result.shm_stats);
+    if (s.ok()) {
+      result.source = RecoverySource::kSharedMemory;
+      return result;
+    }
+    result.shm_attempt_status = s;
+    if (!s.IsNotFound()) {
+      SCUBA_WARN << "leaf " << config_.leaf_id
+                 << ": memory recovery unavailable (" << s.ToString()
+                 << "); recovering from disk";
+    }
+    // RestoreFromShm already scrubbed segments / cleared partial state on
+    // the failure paths; scrub again defensively (idempotent).
+    ScrubSharedMemory();
+  } else {
+    // Fig 5b "memory recovery disabled": free any shared memory in use.
+    size_t scrubbed = ScrubSharedMemory();
+    if (scrubbed > 0) {
+      SCUBA_INFO << "leaf " << config_.leaf_id << ": memory recovery "
+                 << "disabled; removed " << scrubbed << " shm segments";
+    }
+  }
+
+  // Disk path (Fig 5b DISK RECOVERY).
+  if (config_.backup_dir.empty() || !FileExists(config_.backup_dir)) {
+    result.source = RecoverySource::kFresh;
+    return result;
+  }
+  uint64_t tables_recovered = 0;
+  if (config_.backup_format == BackupFormatKind::kColumnar) {
+    SCUBA_RETURN_IF_ERROR(
+        ColumnarBackupReader::RecoverLeaf(config_.backup_dir, leaf_map,
+                                          config_.columnar_disk, now,
+                                          &result.columnar_stats));
+    tables_recovered = result.columnar_stats.tables_recovered;
+  } else {
+    SCUBA_RETURN_IF_ERROR(BackupReader::RecoverLeaf(
+        config_.backup_dir, leaf_map, config_.disk, now, &result.disk_stats));
+    tables_recovered = result.disk_stats.tables_recovered;
+  }
+  result.source = tables_recovered > 0 ? RecoverySource::kDisk
+                                       : RecoverySource::kFresh;
+  return result;
+}
+
+Status RestartManager::Shutdown(LeafMap* leaf_map, ShutdownStats* stats,
+                                FootprintTracker* tracker) {
+  // A leftover metadata segment (e.g. the previous shutdown was killed
+  // before its new process consumed it) would fail Create; scrub first.
+  // Its valid bit semantics make this safe: either it was consumed, or the
+  // disk backup is authoritative anyway.
+  ScrubSharedMemory();
+  return ShutdownToShm(leaf_map, config_.shutdown, stats, tracker);
+}
+
+}  // namespace scuba

@@ -1,0 +1,99 @@
+#ifndef SCUBA_CORE_RESTART_MANAGER_H_
+#define SCUBA_CORE_RESTART_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/leaf_map.h"
+#include "core/restore.h"
+#include "core/shutdown.h"
+#include "disk/backup_reader.h"
+#include "disk/columnar_backup.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Where a recovery ultimately sourced its data.
+enum class RecoverySource {
+  kSharedMemory,  // fast path: memcpy out of shm
+  kDisk,          // slow path: read + translate the backup
+  kFresh,         // nothing to recover (new leaf)
+};
+
+std::string_view RecoverySourceName(RecoverySource source);
+
+/// On-disk backup format.
+enum class BackupFormatKind {
+  /// The paper's production format: row-major, value-encoded — recovery
+  /// must decode every value and re-run compression (§1's 2.5-3 h path).
+  kRowMajor,
+  /// The paper's §6 future work: sealed blocks stored in the shared-memory
+  /// column format — recovery is one memcpy per column plus a short
+  /// row-major tail replay.
+  kColumnar,
+};
+
+std::string_view BackupFormatKindName(BackupFormatKind kind);
+
+/// Configuration shared by both restart directions.
+struct RestartConfig {
+  std::string namespace_prefix = "scuba";
+  uint32_t leaf_id = 0;
+  /// Directory holding the leaf's per-table backup files.
+  std::string backup_dir;
+  /// "memory recovery disabled" edge in Fig 5b: when false, a new process
+  /// always takes the disk path (and scrubs any shm segments).
+  bool memory_recovery_enabled = true;
+  /// Which on-disk backup format this leaf reads and writes.
+  BackupFormatKind backup_format = BackupFormatKind::kRowMajor;
+  /// Restore-side knobs.
+  RestoreOptions restore;
+  /// Disk-recovery knobs (throttle, limits).
+  BackupReader::Options disk;
+  /// Columnar-disk-recovery knobs (used when backup_format == kColumnar).
+  ColumnarBackupReader::Options columnar_disk;
+  /// Shutdown-side knobs.
+  ShutdownOptions shutdown;
+};
+
+/// Result of RestartManager::Recover.
+struct RecoveryResult {
+  RecoverySource source = RecoverySource::kFresh;
+  RestoreStats shm_stats;
+  BackupReader::Stats disk_stats;            // row-major path
+  ColumnarBackupReader::Stats columnar_stats;  // columnar path
+  /// Status of the abandoned shm attempt when source == kDisk (OK when the
+  /// disk path was taken because there was simply nothing in shm).
+  Status shm_attempt_status;
+};
+
+/// Ties the two recovery paths together with the decision logic of
+/// Fig 5b / §4.3: try shared memory if enabled and present; on any
+/// failure, scrub shm and fall back to the on-disk backup.
+class RestartManager {
+ public:
+  explicit RestartManager(RestartConfig config);
+
+  /// Recovers a leaf's state into `leaf_map` (which must be empty).
+  /// `now` is the unix timestamp for block creation / expiry decisions.
+  StatusOr<RecoveryResult> Recover(LeafMap* leaf_map, int64_t now);
+
+  /// Clean-shutdown backup into shared memory (Fig 6). On failure the
+  /// valid bit stays false and the caller should exit anyway — the next
+  /// process will use the disk backup.
+  Status Shutdown(LeafMap* leaf_map, ShutdownStats* stats,
+                  FootprintTracker* tracker = nullptr);
+
+  /// Removes every shm segment belonging to this leaf (crash cleanup,
+  /// "memory recovery disabled" path, tests).
+  size_t ScrubSharedMemory();
+
+  const RestartConfig& config() const { return config_; }
+
+ private:
+  RestartConfig config_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_RESTART_MANAGER_H_

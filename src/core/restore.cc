@@ -1,0 +1,153 @@
+#include "core/restore.h"
+
+#include <cstring>
+#include <vector>
+
+#include "shm/leaf_metadata.h"
+#include "shm/table_segment.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace scuba {
+namespace {
+
+// Restores one table segment into a fresh Table, draining row blocks from
+// the tail and truncating the segment as it goes.
+Status RestoreTableSegment(const std::string& segment_name,
+                           const RestoreOptions& options, LeafMap* leaf_map,
+                           RestoreStats* stats, uint64_t* heap_bytes,
+                           uint64_t* shm_bytes, FootprintTracker* tracker) {
+  SCUBA_ASSIGN_OR_RETURN(TableSegmentReader reader,
+                         TableSegmentReader::Open(segment_name));
+  auto observe = [&]() {
+    if (tracker != nullptr) tracker->Observe(*heap_bytes + *shm_bytes);
+  };
+
+  SCUBA_ASSIGN_OR_RETURN(
+      Table * table,
+      leaf_map->CreateTable(reader.table_name(), options.table_limits));
+
+  const size_t num_blocks = reader.num_row_blocks();
+  // Tail-first drain: blocks are collected newest-first, then adopted in
+  // original order.
+  std::vector<std::unique_ptr<RowBlock>> reversed;
+  reversed.reserve(num_blocks);
+
+  for (size_t rb = num_blocks; rb-- > 0;) {
+    const TableSegmentReader::BlockEntry& entry = reader.block(rb);
+    const size_t num_columns = entry.columns.size();
+
+    std::vector<std::unique_ptr<RowBlockColumn>> columns(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      Slice src = reader.ColumnSlice(rb, c);
+      // Fig 7: allocate memory in heap; copy data from table segment to
+      // heap — again a single memcpy thanks to offset-only addressing.
+      std::unique_ptr<uint8_t[]> heap_buf(new uint8_t[src.size()]);
+      std::memcpy(heap_buf.get(), src.data(), src.size());
+
+      SCUBA_ASSIGN_OR_RETURN(
+          RowBlockColumn column,
+          RowBlockColumn::FromBuffer(std::move(heap_buf), src.size(),
+                                     options.verify_checksums));
+      columns[c] = std::make_unique<RowBlockColumn>(std::move(column));
+      *heap_bytes += src.size();
+      stats->bytes_copied += src.size();
+      ++stats->columns_restored;
+      observe();
+    }
+
+    SCUBA_ASSIGN_OR_RETURN(
+        std::unique_ptr<RowBlock> block,
+        RowBlock::FromParts(entry.meta.header, entry.meta.schema,
+                            std::move(columns)));
+    reversed.push_back(std::move(block));
+    ++stats->row_blocks_restored;
+
+    // Fig 7: truncate the table shared memory segment if needed — the
+    // drained tail's pages go back to the OS immediately.
+    size_t before = reader.segment_bytes();
+    SCUBA_RETURN_IF_ERROR(reader.TruncateTo(entry.block_offset));
+    *shm_bytes -= before - reader.segment_bytes();
+    observe();
+  }
+
+  for (size_t i = reversed.size(); i-- > 0;) {
+    table->AdoptRowBlock(std::move(reversed[i]));
+  }
+
+  // Fig 7: delete the table shared memory segment.
+  SCUBA_RETURN_IF_ERROR(reader.Unlink());
+  ++stats->tables_restored;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
+                      RestoreStats* stats, FootprintTracker* tracker) {
+  Stopwatch watch;
+
+  if (!LeafMetadata::Exists(options.namespace_prefix, options.leaf_id)) {
+    return Status::NotFound("no shared memory metadata for leaf " +
+                            std::to_string(options.leaf_id));
+  }
+
+  auto meta_or = LeafMetadata::Open(options.namespace_prefix, options.leaf_id);
+  if (!meta_or.ok()) {
+    // Unreadable metadata: scrub any segments we can find by prefix so the
+    // broken state does not linger, then send the caller to disk.
+    ShmSegment::RemoveAll("/" + options.namespace_prefix + "_leaf_" +
+                          std::to_string(options.leaf_id) + "_");
+    return Status::FailedPrecondition("leaf metadata unreadable: " +
+                                      meta_or.status().ToString());
+  }
+  LeafMetadata meta = std::move(meta_or).value();
+
+  // Fig 7: if valid bit is false -> delete segments, recover from disk.
+  if (!meta.valid()) {
+    meta.DestroyAllSegments().ok();
+    return Status::FailedPrecondition(
+        "shared memory valid bit is false (crash or interrupted restore)");
+  }
+  // Layout version mismatch: the new binary cannot interpret the segments.
+  if (meta.layout_version() != kShmLayoutVersion) {
+    meta.DestroyAllSegments().ok();
+    return Status::FailedPrecondition(
+        "shared memory layout version mismatch: segment v" +
+        std::to_string(meta.layout_version()) + " vs binary v" +
+        std::to_string(kShmLayoutVersion));
+  }
+
+  // Fig 7: set valid bit to false — if restore is interrupted from here
+  // on, the next restart will take the disk path.
+  SCUBA_RETURN_IF_ERROR(meta.SetValid(false));
+
+  uint64_t heap_bytes = 0;
+  uint64_t shm_bytes =
+      TotalShmBytes("/" + options.namespace_prefix + "_leaf_" +
+                    std::to_string(options.leaf_id) + "_");
+  if (tracker != nullptr) tracker->Observe(heap_bytes + shm_bytes);
+
+  for (const std::string& segment_name : meta.table_segment_names()) {
+    Status s = RestoreTableSegment(segment_name, options, leaf_map, stats,
+                                   &heap_bytes, &shm_bytes, tracker);
+    if (!s.ok()) {
+      SCUBA_WARN << "memory recovery failed on segment " << segment_name
+                 << ": " << s.ToString() << "; falling back to disk";
+      meta.DestroyAllSegments().ok();
+      leaf_map->Clear();
+      return Status::Corruption("memory recovery failed: " + s.ToString());
+    }
+  }
+
+  // Fig 7: delete the metadata shared memory segment.
+  SCUBA_RETURN_IF_ERROR(meta.Destroy());
+
+  stats->elapsed_micros = watch.ElapsedMicros();
+  SCUBA_INFO << "restore-from-shm: " << stats->tables_restored << " tables, "
+             << stats->bytes_copied << " bytes in "
+             << stats->elapsed_micros / 1000 << " ms";
+  return Status::OK();
+}
+
+}  // namespace scuba

@@ -1,0 +1,68 @@
+#ifndef SCUBA_CORE_RESTORE_H_
+#define SCUBA_CORE_RESTORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/leaf_map.h"
+#include "core/footprint.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Options for the restore-from-shared-memory path (Fig 7).
+struct RestoreOptions {
+  std::string namespace_prefix = "scuba";
+  uint32_t leaf_id = 0;
+  /// Verify each column's CRC32C while adopting it (cheap insurance; the
+  /// paper trusts clean-shutdown state, but the checksum catches torn
+  /// segments and fat-fingered segment names).
+  bool verify_checksums = true;
+  /// Retention limits applied to restored tables.
+  TableLimits table_limits;
+};
+
+/// Counters from one restore.
+struct RestoreStats {
+  uint64_t tables_restored = 0;
+  uint64_t row_blocks_restored = 0;
+  uint64_t columns_restored = 0;
+  uint64_t bytes_copied = 0;
+  int64_t elapsed_micros = 0;
+};
+
+/// Restores a leaf's tables from shared memory into `leaf_map`, following
+/// Fig 7:
+///
+///   if valid bit is false
+///     delete shared memory segments; recover from disk    (caller's job)
+///   set valid bit to false
+///   for each table shared memory segment
+///     for each row block
+///       for each row block column
+///         allocate memory in heap; copy data from table segment to heap
+///       truncate the table shared memory segment if needed
+///     delete the table shared memory segment
+///   delete the metadata shared memory segment
+///
+/// Returns:
+///  - NotFound            — no metadata segment (first boot / after crash
+///                          cleanup); caller recovers from disk.
+///  - FailedPrecondition  — valid bit false or layout version mismatch;
+///                          segments are deleted; caller recovers from disk.
+///  - Corruption          — segment contents failed validation mid-restore;
+///                          all segments are deleted and `leaf_map` is
+///                          cleared; caller recovers from disk.
+///
+/// If THIS code path is interrupted (process dies mid-restore), the valid
+/// bit is already false, so the next restart goes to disk (Fig 7 caption).
+///
+/// Row blocks are drained tail-first so the segment can be truncated as it
+/// empties, mirroring the shutdown path's flat memory footprint (§4.4);
+/// block order within each table is preserved in the rebuilt state.
+Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
+                      RestoreStats* stats, FootprintTracker* tracker = nullptr);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_RESTORE_H_

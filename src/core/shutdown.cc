@@ -1,0 +1,121 @@
+#include "core/shutdown.h"
+
+#include <vector>
+
+#include "shm/leaf_metadata.h"
+#include "shm/table_segment.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace scuba {
+namespace {
+
+std::string TableSegmentName(const ShutdownOptions& options, size_t index) {
+  return "/" + options.namespace_prefix + "_leaf_" +
+         std::to_string(options.leaf_id) + "_table_" + std::to_string(index);
+}
+
+}  // namespace
+
+Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
+                     ShutdownStats* stats, FootprintTracker* tracker) {
+  Stopwatch watch;
+
+  // The server's PREPARE step seals write buffers; seal here as a backstop
+  // so no buffered rows are silently dropped. Done before byte accounting
+  // so heap_bytes reflects the sealed (compressed) sizes.
+  std::vector<std::string> table_names = leaf_map->TableNames();
+  for (const std::string& name : table_names) {
+    SCUBA_RETURN_IF_ERROR(
+        leaf_map->GetTable(name)->SealWriteBuffer(options.now));
+  }
+
+  // Heap-side byte accounting, decremented as columns are freed.
+  uint64_t heap_bytes = leaf_map->TotalMemoryBytes();
+  uint64_t shm_bytes = 0;
+  auto observe = [&]() {
+    if (tracker != nullptr) tracker->Observe(heap_bytes + shm_bytes);
+  };
+  observe();
+
+  // Fig 6 step 1-2: metadata segment with valid=false.
+  SCUBA_ASSIGN_OR_RETURN(
+      LeafMetadata meta,
+      LeafMetadata::Create(options.namespace_prefix, options.leaf_id));
+
+  for (size_t t = 0; t < table_names.size(); ++t) {
+    Table* table = leaf_map->GetTable(table_names[t]);
+
+    // Fig 6: estimate size of table, create table shm segment.
+    uint64_t table_bytes = table->MemoryBytes();
+    size_t estimate = static_cast<size_t>(
+        static_cast<double>(table_bytes) * options.size_estimate_factor +
+        4096.0 + 512.0 * static_cast<double>(table->num_row_blocks()));
+    std::string segment_name = TableSegmentName(options, t);
+    SCUBA_ASSIGN_OR_RETURN(
+        TableSegmentWriter writer,
+        TableSegmentWriter::Create(segment_name, table->name(), estimate));
+    SCUBA_RETURN_IF_ERROR(meta.AddTableSegment(segment_name));
+    shm_bytes += writer.used_bytes();
+
+    uint64_t blocks = table->num_row_blocks();
+    for (size_t b = 0; b < blocks; ++b) {
+      const RowBlock* block = table->row_block(b);
+      SCUBA_RETURN_IF_ERROR(writer.AppendRowBlockMeta(*block));
+
+      const size_t num_columns = block->num_columns();
+      for (size_t c = 0; c < num_columns; ++c) {
+        const RowBlockColumn* column = block->column(c);
+        uint64_t column_bytes = column->total_bytes();
+        // Fig 6: copy data from heap to the table segment (ONE memcpy —
+        // offsets, not pointers, make the buffer position-independent).
+        SCUBA_RETURN_IF_ERROR(writer.AppendColumnBuffer(column->AsSlice()));
+        shm_bytes += column_bytes;
+        ++stats->columns_copied;
+        stats->bytes_copied += column_bytes;
+
+        if (options.free_incrementally) {
+          // Fig 6: delete row block column from heap.
+          table->mutable_row_block(b)->ReleaseColumn(c).reset();
+          heap_bytes -= column_bytes;
+        }
+        observe();
+      }
+      if (options.free_incrementally) {
+        // Fig 6: delete row block from heap.
+        table->ReleaseRowBlock(b).reset();
+      }
+      ++stats->row_blocks_copied;
+    }
+    stats->segment_grow_count += writer.grow_count();
+    SCUBA_RETURN_IF_ERROR(writer.Finish(blocks));
+
+    // Fig 6: delete table from heap.
+    if (options.free_incrementally) {
+      leaf_map->ReleaseTable(table_names[t]).reset();
+    }
+    ++stats->tables_copied;
+  }
+
+  // Naive (non-paper) strategy frees everything only now.
+  if (!options.free_incrementally) {
+    for (const std::string& name : table_names) {
+      Table* table = leaf_map->GetTable(name);
+      heap_bytes -= table->MemoryBytes();
+      leaf_map->ReleaseTable(name).reset();
+      observe();
+    }
+  }
+
+  // Fig 6 final step: set valid bit to true. Everything before this point
+  // leaves the valid bit false, so a failure or kill forces disk recovery.
+  SCUBA_RETURN_IF_ERROR(meta.SetValid(true));
+
+  stats->elapsed_micros = watch.ElapsedMicros();
+  SCUBA_INFO << "shutdown-to-shm: " << stats->tables_copied << " tables, "
+             << stats->bytes_copied << " bytes in "
+             << stats->elapsed_micros / 1000 << " ms";
+  return Status::OK();
+}
+
+}  // namespace scuba

@@ -1,0 +1,67 @@
+#ifndef SCUBA_CORE_SHUTDOWN_H_
+#define SCUBA_CORE_SHUTDOWN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/leaf_map.h"
+#include "core/footprint.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Options for the shutdown-to-shared-memory path (Fig 6).
+struct ShutdownOptions {
+  /// Namespace prefix isolating clusters (and tests) in /dev/shm.
+  std::string namespace_prefix = "scuba";
+  /// This leaf's id; determines the hard-coded metadata segment name.
+  uint32_t leaf_id = 0;
+  /// Segment size estimate = table heap bytes * factor + fixed overhead.
+  /// Underestimates grow the segment; overestimates are truncated.
+  double size_estimate_factor = 1.05;
+  /// Paper behaviour (true): copy one row block column at a time, freeing
+  /// each heap column immediately, so the footprint never grows (§4.4).
+  /// False keeps the heap data until the end — the naive strategy
+  /// bench_footprint contrasts against (it needs ~2x the memory).
+  bool free_incrementally = true;
+  /// Unix timestamp used if a non-empty write buffer must be sealed.
+  int64_t now = 0;
+};
+
+/// Counters from one shutdown.
+struct ShutdownStats {
+  uint64_t tables_copied = 0;
+  uint64_t row_blocks_copied = 0;
+  uint64_t columns_copied = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t segment_grow_count = 0;
+  int64_t elapsed_micros = 0;
+};
+
+/// Backs up all of `leaf_map`'s tables into shared memory segments and
+/// empties the leaf map, following Fig 6 exactly:
+///
+///   create shared memory segment for leaf metadata
+///   set valid bit to false
+///   for each table
+///     estimate size of table; create table shm segment; register it
+///     for each row block
+///       grow the table segment in size if needed
+///       for each row block column
+///         copy data from heap to the table segment   (one memcpy)
+///         delete row block column from heap
+///       delete row block from heap
+///     delete table from heap
+///   set valid bit to true
+///
+/// On failure the metadata's valid bit stays false, so the next start
+/// falls back to disk recovery. The caller (leaf server) must have drained
+/// in-flight work and flushed backups first (Fig 5c PREPARE).
+///
+/// `tracker` (optional) observes heap+shm footprint after every column.
+Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
+                     ShutdownStats* stats, FootprintTracker* tracker = nullptr);
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_SHUTDOWN_H_

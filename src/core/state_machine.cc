@@ -1,0 +1,108 @@
+#include "core/state_machine.h"
+
+#include <string>
+
+namespace scuba {
+
+std::string_view LeafStateName(LeafState state) {
+  switch (state) {
+    case LeafState::kInit:
+      return "INIT";
+    case LeafState::kMemoryRecovery:
+      return "MEMORY_RECOVERY";
+    case LeafState::kDiskRecovery:
+      return "DISK_RECOVERY";
+    case LeafState::kAlive:
+      return "ALIVE";
+    case LeafState::kCopyToShm:
+      return "COPY_TO_SHM";
+    case LeafState::kExit:
+      return "EXIT";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view TableStateName(TableState state) {
+  switch (state) {
+    case TableState::kInit:
+      return "INIT";
+    case TableState::kMemoryRecovery:
+      return "MEMORY_RECOVERY";
+    case TableState::kDiskRecovery:
+      return "DISK_RECOVERY";
+    case TableState::kAlive:
+      return "ALIVE";
+    case TableState::kPrepare:
+      return "PREPARE";
+    case TableState::kCopyToShm:
+      return "COPY_TO_SHM";
+    case TableState::kDone:
+      return "DONE";
+  }
+  return "UNKNOWN";
+}
+
+bool LeafStateMachine::IsAllowed(LeafState from, LeafState to) {
+  switch (from) {
+    case LeafState::kInit:
+      return to == LeafState::kMemoryRecovery ||
+             to == LeafState::kDiskRecovery || to == LeafState::kAlive;
+    case LeafState::kMemoryRecovery:
+      // Exception during memory recovery falls back to disk (Fig 5b).
+      return to == LeafState::kAlive || to == LeafState::kDiskRecovery;
+    case LeafState::kDiskRecovery:
+      return to == LeafState::kAlive;
+    case LeafState::kAlive:
+      return to == LeafState::kCopyToShm;
+    case LeafState::kCopyToShm:
+      return to == LeafState::kExit;
+    case LeafState::kExit:
+      return false;
+  }
+  return false;
+}
+
+Status LeafStateMachine::Transition(LeafState next) {
+  if (!IsAllowed(state_, next)) {
+    return Status::FailedPrecondition(
+        std::string("leaf state: illegal transition ") +
+        std::string(LeafStateName(state_)) + " -> " +
+        std::string(LeafStateName(next)));
+  }
+  state_ = next;
+  return Status::OK();
+}
+
+bool TableStateMachine::IsAllowed(TableState from, TableState to) {
+  switch (from) {
+    case TableState::kInit:
+      return to == TableState::kMemoryRecovery ||
+             to == TableState::kDiskRecovery || to == TableState::kAlive;
+    case TableState::kMemoryRecovery:
+      return to == TableState::kAlive || to == TableState::kDiskRecovery;
+    case TableState::kDiskRecovery:
+      return to == TableState::kAlive;
+    case TableState::kAlive:
+      return to == TableState::kPrepare;
+    case TableState::kPrepare:
+      return to == TableState::kCopyToShm;
+    case TableState::kCopyToShm:
+      return to == TableState::kDone;
+    case TableState::kDone:
+      return false;
+  }
+  return false;
+}
+
+Status TableStateMachine::Transition(TableState next) {
+  if (!IsAllowed(state_, next)) {
+    return Status::FailedPrecondition(
+        std::string("table state: illegal transition ") +
+        std::string(TableStateName(state_)) + " -> " +
+        std::string(TableStateName(next)));
+  }
+  state_ = next;
+  return Status::OK();
+}
+
+}  // namespace scuba

@@ -1,0 +1,103 @@
+#ifndef SCUBA_CORE_STATE_MACHINE_H_
+#define SCUBA_CORE_STATE_MACHINE_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace scuba {
+
+/// Leaf server states (Fig 5a/5b). "At all times, each leaf and table
+/// keeps track of its state. The state ... determines which actions are
+/// permissible: adding data, deleting (expired) data, evaluating queries"
+/// (§4.3).
+enum class LeafState {
+  kInit = 0,            // new process, nothing recovered yet
+  kMemoryRecovery = 1,  // restoring from shared memory
+  kDiskRecovery = 2,    // restoring from the on-disk backup
+  kAlive = 3,           // serving adds, deletes, and queries
+  kCopyToShm = 4,       // clean shutdown: copying heap -> shm
+  kExit = 5,            // terminal
+};
+
+/// Table states (Fig 5c/5d). Tables add one state over leaves: PREPARE,
+/// which rejects new requests, kills in-progress deletes, waits for
+/// in-flight adds/queries, and flushes to disk.
+enum class TableState {
+  kInit = 0,
+  kMemoryRecovery = 1,
+  kDiskRecovery = 2,
+  kAlive = 3,
+  kPrepare = 4,
+  kCopyToShm = 5,
+  kDone = 6,  // terminal (backup finished)
+};
+
+std::string_view LeafStateName(LeafState state);
+std::string_view TableStateName(TableState state);
+
+/// Validating wrapper around LeafState with the Fig 5 transition edges:
+///   backup  (5a): Alive -> CopyToShm -> Exit
+///   restore (5b): Init -> MemoryRecovery | DiskRecovery -> Alive,
+///                 MemoryRecovery -> DiskRecovery (exception),
+///                 Init -> Alive (fresh leaf with no prior data).
+class LeafStateMachine {
+ public:
+  LeafStateMachine() : state_(LeafState::kInit) {}
+
+  LeafState state() const { return state_; }
+
+  /// Moves to `next` if that edge exists; FailedPrecondition otherwise.
+  Status Transition(LeafState next);
+
+  static bool IsAllowed(LeafState from, LeafState to);
+
+  // Permissible actions per state (§4.3): memory recovery accepts nothing;
+  // disk recovery accepts adds and queries (returning partial results);
+  // only a live leaf deletes expired data.
+  bool CanAcceptAdds() const {
+    return state_ == LeafState::kAlive || state_ == LeafState::kDiskRecovery;
+  }
+  bool CanAcceptQueries() const {
+    return state_ == LeafState::kAlive || state_ == LeafState::kDiskRecovery;
+  }
+  bool CanDeleteExpired() const { return state_ == LeafState::kAlive; }
+
+ private:
+  LeafState state_;
+};
+
+/// Validating wrapper around TableState with the Fig 5c/5d edges:
+///   backup  (5c): Alive -> Prepare -> CopyToShm -> Done
+///   restore (5d): Init -> MemoryRecovery | DiskRecovery -> Alive,
+///                 MemoryRecovery -> DiskRecovery (exception),
+///                 Init -> Alive (fresh table).
+class TableStateMachine {
+ public:
+  TableStateMachine() : state_(TableState::kInit) {}
+
+  TableState state() const { return state_; }
+
+  Status Transition(TableState next);
+
+  static bool IsAllowed(TableState from, TableState to);
+
+  bool CanAcceptAdds() const {
+    return state_ == TableState::kAlive ||
+           state_ == TableState::kDiskRecovery;
+  }
+  bool CanAcceptQueries() const {
+    return state_ == TableState::kAlive ||
+           state_ == TableState::kDiskRecovery;
+  }
+  /// Deletes are killed once shutdown starts; "any needed deletions are
+  /// made after recovery" (Fig 5 caption).
+  bool CanDeleteExpired() const { return state_ == TableState::kAlive; }
+
+ private:
+  TableState state_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_CORE_STATE_MACHINE_H_

@@ -1,0 +1,188 @@
+#include "disk/backup_format.h"
+
+#include <unordered_map>
+
+#include "util/crc32c.h"
+#include "util/varint.h"
+
+namespace scuba {
+namespace backup_format {
+namespace {
+
+constexpr uint8_t kRecordTypeRowBatch = 1;
+
+void AppendValue(const Value& value, ByteBuffer* out) {
+  switch (ValueType(value)) {
+    case ColumnType::kInt64:
+      varint::AppendI64(out, std::get<int64_t>(value));
+      break;
+    case ColumnType::kDouble: {
+      uint64_t bits;
+      static_assert(sizeof(double) == 8);
+      std::memcpy(&bits, &std::get<double>(value), 8);
+      out->AppendU64(bits);
+      break;
+    }
+    case ColumnType::kString: {
+      const std::string& s = std::get<std::string>(value);
+      varint::AppendU64(out, s.size());
+      out->Append(s.data(), s.size());
+      break;
+    }
+  }
+}
+
+Status ReadValue(ColumnType type, Slice* in, Value* value) {
+  switch (type) {
+    case ColumnType::kInt64: {
+      int64_t v = 0;
+      if (!varint::ReadI64(in, &v)) {
+        return Status::Corruption("backup: truncated int64 value");
+      }
+      *value = v;
+      return Status::OK();
+    }
+    case ColumnType::kDouble: {
+      if (in->size() < 8) {
+        return Status::Corruption("backup: truncated double value");
+      }
+      uint64_t bits = ByteBuffer::DecodeU64(in->data());
+      in->RemovePrefix(8);
+      double v;
+      std::memcpy(&v, &bits, 8);
+      *value = v;
+      return Status::OK();
+    }
+    case ColumnType::kString: {
+      uint64_t len = 0;
+      if (!varint::ReadU64(in, &len) || in->size() < len) {
+        return Status::Corruption("backup: truncated string value");
+      }
+      *value = std::string(reinterpret_cast<const char*>(in->data()), len);
+      in->RemovePrefix(len);
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("backup: unknown value type");
+}
+
+}  // namespace
+
+void AppendFileHeader(ByteBuffer* out) {
+  out->AppendU32(kFileMagic);
+  out->AppendU16(kFileVersion);
+  out->AppendU16(0);
+}
+
+Status CheckFileHeader(Slice* input) {
+  if (input->size() < kFileHeaderSize) {
+    return Status::Corruption("backup: missing file header");
+  }
+  if (ByteBuffer::DecodeU32(input->data()) != kFileMagic) {
+    return Status::Corruption("backup: bad file magic");
+  }
+  uint16_t version = static_cast<uint16_t>(
+      (*input)[4] | (static_cast<uint16_t>((*input)[5]) << 8));
+  if (version != kFileVersion) {
+    return Status::Corruption("backup: unsupported file version");
+  }
+  input->RemovePrefix(kFileHeaderSize);
+  return Status::OK();
+}
+
+Status AppendRowBatchRecord(const std::vector<Row>& rows, ByteBuffer* out) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("backup: empty row batch");
+  }
+
+  // Union schema in first-seen order, with type conflict detection.
+  Schema schema;
+  std::unordered_map<std::string, ColumnType> types;
+  for (const Row& row : rows) {
+    if (!row.Time().has_value()) {
+      return Status::InvalidArgument("backup: row lacks int64 'time' field");
+    }
+    for (const auto& [name, value] : row.fields) {
+      auto it = types.find(name);
+      if (it == types.end()) {
+        types.emplace(name, ValueType(value));
+        schema.AddColumn(name, ValueType(value));
+      } else if (it->second != ValueType(value)) {
+        return Status::InvalidArgument("backup: field '" + name +
+                                       "' has conflicting types in batch");
+      }
+    }
+  }
+
+  ByteBuffer payload;
+  payload.AppendU8(kRecordTypeRowBatch);
+  schema.Serialize(&payload);
+  varint::AppendU64(&payload, rows.size());
+  for (const Row& row : rows) {
+    // Dense row-major encoding: every schema column, defaults back-filled.
+    for (const ColumnDef& col : schema.columns()) {
+      const Value* found = nullptr;
+      for (const auto& [name, value] : row.fields) {
+        if (name == col.name) {
+          found = &value;
+          break;
+        }
+      }
+      if (found != nullptr) {
+        AppendValue(*found, &payload);
+      } else {
+        AppendValue(DefaultValue(col.type), &payload);
+      }
+    }
+  }
+
+  out->AppendU32(static_cast<uint32_t>(payload.size()));
+  out->AppendU32(crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  out->Append(payload.data(), payload.size());
+  return Status::OK();
+}
+
+Status ReadRowBatchRecord(Slice* input, std::vector<Row>* rows) {
+  if (input->empty()) return Status::NotFound("end of backup file");
+  if (input->size() < 8) {
+    return Status::Corruption("backup: truncated record header");
+  }
+  uint32_t payload_len = ByteBuffer::DecodeU32(input->data());
+  uint32_t stored_crc =
+      crc32c::Unmask(ByteBuffer::DecodeU32(input->data() + 4));
+  if (input->size() < 8 + static_cast<size_t>(payload_len)) {
+    return Status::Corruption("backup: truncated record payload");
+  }
+  Slice payload(input->data() + 8, payload_len);
+  if (crc32c::Value(payload.data(), payload.size()) != stored_crc) {
+    return Status::Corruption("backup: record checksum mismatch");
+  }
+  input->RemovePrefix(8 + payload_len);
+
+  if (payload.empty() || payload[0] != kRecordTypeRowBatch) {
+    return Status::Corruption("backup: unknown record type");
+  }
+  payload.RemovePrefix(1);
+
+  SCUBA_ASSIGN_OR_RETURN(Schema schema, Schema::Parse(&payload));
+  uint64_t row_count = 0;
+  if (!varint::ReadU64(&payload, &row_count)) {
+    return Status::Corruption("backup: truncated row count");
+  }
+
+  rows->reserve(rows->size() + row_count);
+  for (uint64_t r = 0; r < row_count; ++r) {
+    Row row;
+    row.fields.reserve(schema.num_columns());
+    for (const ColumnDef& col : schema.columns()) {
+      Value value;
+      SCUBA_RETURN_IF_ERROR(ReadValue(col.type, &payload, &value));
+      row.fields.emplace_back(col.name, std::move(value));
+    }
+    rows->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace backup_format
+}  // namespace scuba

@@ -1,0 +1,162 @@
+#include "disk/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace scuba {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<AppendableFile> AppendableFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+  return AppendableFile(path, fd);
+}
+
+AppendableFile::AppendableFile(AppendableFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      bytes_written_(other.bytes_written_) {
+  other.fd_ = -1;
+}
+
+AppendableFile& AppendableFile::operator=(AppendableFile&& other) noexcept {
+  if (this != &other) {
+    Close().ok();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    bytes_written_ = other.bytes_written_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendableFile::~AppendableFile() { Close().ok(); }
+
+Status AppendableFile::Append(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write", path_));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  bytes_written_ += size;
+  return Status::OK();
+}
+
+Status AppendableFile::Sync() {
+  if (::fsync(fd_) != 0) return Status::IOError(ErrnoMessage("fsync", path_));
+  return Status::OK();
+}
+
+Status AppendableFile::Close() {
+  if (fd_ >= 0) {
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError(ErrnoMessage("close", path_));
+    }
+  }
+  return Status::OK();
+}
+
+Status ReadFileFully(const std::string& path, ByteBuffer* out,
+                     uint64_t throttle_bytes_per_sec) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("file not found: " + path);
+    return Status::IOError(ErrnoMessage("open", path));
+  }
+  out->Clear();
+
+  constexpr size_t kChunk = 1 << 20;
+  std::vector<uint8_t> chunk(kChunk);
+  Stopwatch watch;
+  uint64_t total_read = 0;
+  for (;;) {
+    ssize_t n = ::read(fd, chunk.data(), kChunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IOError(ErrnoMessage("read", path));
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->Append(chunk.data(), static_cast<size_t>(n));
+    total_read += static_cast<uint64_t>(n);
+
+    if (throttle_bytes_per_sec > 0) {
+      // Pace the read: sleep until wall time catches up with the modeled
+      // disk's transfer time for the bytes consumed so far.
+      int64_t target_micros = static_cast<int64_t>(
+          total_read * 1000000.0 / static_cast<double>(throttle_bytes_per_sec));
+      int64_t ahead = target_micros - watch.ElapsedMicros();
+      if (ahead > 0) RealClock::Get()->SleepMicros(ahead);
+    }
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError(ErrnoMessage("mkdir", dir));
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink", path));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ListFiles(const std::string& dir,
+                                             const std::string& suffix) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IOError(ErrnoMessage("opendir", dir));
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name(entry->d_name);
+    if (name == "." || name == "..") continue;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  return names;
+}
+
+}  // namespace scuba

@@ -1,0 +1,46 @@
+#include "ingest/category_log.h"
+
+namespace scuba {
+
+void CategoryLog::Append(const std::string& category, Row row) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  logs_[category].push_back(std::move(row));
+}
+
+void CategoryLog::AppendBatch(const std::string& category,
+                              std::vector<Row> rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Row>& log = logs_[category];
+  log.reserve(log.size() + rows.size());
+  for (Row& row : rows) log.push_back(std::move(row));
+}
+
+size_t CategoryLog::Read(const std::string& category, uint64_t offset,
+                         size_t max_rows, std::vector<Row>* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = logs_.find(category);
+  if (it == logs_.end() || offset >= it->second.size()) return 0;
+  size_t available = it->second.size() - static_cast<size_t>(offset);
+  size_t n = std::min(available, max_rows);
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(it->second[static_cast<size_t>(offset) + i]);
+  }
+  return n;
+}
+
+uint64_t CategoryLog::Size(const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = logs_.find(category);
+  return it == logs_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> CategoryLog::Categories() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(logs_.size());
+  for (const auto& [name, log] : logs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace scuba

@@ -1,0 +1,45 @@
+#ifndef SCUBA_INGEST_CATEGORY_LOG_H_
+#define SCUBA_INGEST_CATEGORY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/row.h"
+
+namespace scuba {
+
+/// In-process stand-in for Scribe (Fig 1): an append-only log of rows per
+/// category. Producers (Facebook products in the paper; workload
+/// generators here) append; tailers consume from an offset they track
+/// themselves. Rows are retained forever — retention is the database's
+/// job, not the transport's.
+class CategoryLog {
+ public:
+  CategoryLog() = default;
+  CategoryLog(const CategoryLog&) = delete;
+  CategoryLog& operator=(const CategoryLog&) = delete;
+
+  void Append(const std::string& category, Row row);
+  void AppendBatch(const std::string& category, std::vector<Row> rows);
+
+  /// Copies up to `max_rows` rows starting at `offset` into `out`.
+  /// Returns the number copied (0 when caught up).
+  size_t Read(const std::string& category, uint64_t offset, size_t max_rows,
+              std::vector<Row>* out) const;
+
+  /// Total rows ever appended to `category`.
+  uint64_t Size(const std::string& category) const;
+
+  std::vector<std::string> Categories() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<Row>> logs_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_INGEST_CATEGORY_LOG_H_

@@ -1,0 +1,91 @@
+#include "ingest/tailer.h"
+
+namespace scuba {
+
+Tailer::Tailer(TailerConfig config, CategoryLog* log,
+               std::vector<LeafServer*> leaves)
+    : config_(std::move(config)),
+      log_(log),
+      leaves_(std::move(leaves)),
+      random_(config_.seed) {}
+
+uint64_t Tailer::backlog() const {
+  uint64_t size = log_->Size(config_.category);
+  return size > offset_ ? size - offset_ : 0;
+}
+
+LeafServer* Tailer::ChooseLeaf(bool* used_restarting_fallback) {
+  *used_restarting_fallback = false;
+  if (leaves_.empty()) return nullptr;
+  if (leaves_.size() == 1) {
+    LeafServer* only = leaves_[0];
+    *used_restarting_fallback = !only->IsAlive() && only->CanAcceptAdds();
+    return only->CanAcceptAdds() ? only : nullptr;
+  }
+
+  for (int round = 0; round < config_.max_choice_rounds; ++round) {
+    ++stats_.choice_rounds;
+    size_t a = random_.Uniform(leaves_.size());
+    size_t b = random_.Uniform(leaves_.size() - 1);
+    if (b >= a) ++b;  // distinct pair
+    LeafServer* la = leaves_[a];
+    LeafServer* lb = leaves_[b];
+    bool a_alive = la->IsAlive();
+    bool b_alive = lb->IsAlive();
+    if (a_alive && b_alive) {
+      // Both alive: more free memory wins (§2).
+      return la->FreeMemoryBytes() >= lb->FreeMemoryBytes() ? la : lb;
+    }
+    if (a_alive) return la;
+    if (b_alive) return lb;
+  }
+
+  // "(after enough tries) sends the data to a restarting server": any leaf
+  // whose state still accepts adds (disk recovery does; memory recovery
+  // and copy-to-shm do not, §4.3).
+  for (LeafServer* leaf : leaves_) {
+    if (leaf->CanAcceptAdds()) {
+      *used_restarting_fallback = !leaf->IsAlive();
+      return leaf;
+    }
+  }
+  return nullptr;
+}
+
+StatusOr<uint64_t> Tailer::Pump(bool flush) {
+  uint64_t delivered = 0;
+  for (;;) {
+    uint64_t pending = backlog();
+    if (pending == 0) break;
+    if (pending < config_.batch_rows && !flush) break;
+
+    std::vector<Row> batch;
+    size_t n = log_->Read(config_.category, offset_, config_.batch_rows,
+                          &batch);
+    if (n == 0) break;
+
+    bool fallback = false;
+    LeafServer* target = ChooseLeaf(&fallback);
+    if (target == nullptr) {
+      ++stats_.batches_failed;
+      break;  // nothing can accept; retry on a later pump
+    }
+    Status s = target->AddRows(config_.category, batch);
+    if (!s.ok()) {
+      if (s.IsUnavailable()) {
+        // Lost a race with a state change; retry later.
+        ++stats_.batches_failed;
+        break;
+      }
+      return s;
+    }
+    offset_ += n;
+    delivered += n;
+    stats_.rows_delivered += n;
+    ++stats_.batches_delivered;
+    if (fallback) ++stats_.batches_to_restarting;
+  }
+  return delivered;
+}
+
+}  // namespace scuba

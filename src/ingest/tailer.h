@@ -1,0 +1,84 @@
+#ifndef SCUBA_INGEST_TAILER_H_
+#define SCUBA_INGEST_TAILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ingest/category_log.h"
+#include "server/leaf_server.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Tailer configuration (§2): "Every N rows or t seconds, the tailer
+/// chooses a new Scuba leaf server and sends it a batch of rows."
+struct TailerConfig {
+  /// Category in the log == table name in the database.
+  std::string category;
+  /// N: rows per batch.
+  size_t batch_rows = 1000;
+  /// "It picks two servers randomly and asks them both for their current
+  /// state and how much free memory they have... If neither server is
+  /// alive, the tailer will try two more servers until it finds one that
+  /// is alive or (after enough tries) sends the data to a restarting
+  /// server." Number of two-server draws before giving up on alive-only.
+  int max_choice_rounds = 4;
+  uint64_t seed = 1;
+};
+
+/// Delivery counters.
+struct TailerStats {
+  uint64_t rows_delivered = 0;
+  uint64_t batches_delivered = 0;
+  uint64_t batches_to_restarting = 0;  // fell back past alive servers
+  uint64_t batches_failed = 0;         // no server accepted; rows retried
+  uint64_t choice_rounds = 0;
+};
+
+/// Pulls one category's rows out of the CategoryLog and pushes them into
+/// leaf servers using power-of-two-choices placement by free memory.
+/// Single-threaded pump model: the owner (cluster driver, example, test)
+/// calls Pump() periodically.
+class Tailer {
+ public:
+  Tailer(TailerConfig config, CategoryLog* log,
+         std::vector<LeafServer*> leaves);
+
+  Tailer(const Tailer&) = delete;
+  Tailer& operator=(const Tailer&) = delete;
+
+  /// Delivers as many full batches as the log currently holds; with
+  /// `flush` also delivers a final short batch. Rows whose delivery fails
+  /// stay in the log (the offset does not advance) and are retried on the
+  /// next pump. Returns rows delivered this call.
+  StatusOr<uint64_t> Pump(bool flush = false);
+
+  /// Picks the target leaf for one batch (exposed for tests): two random
+  /// distinct leaves; the alive one with more free memory wins; after
+  /// max_choice_rounds draws with no alive leaf, falls back to any leaf
+  /// that will accept adds (a disk-recovering, i.e. restarting, server).
+  LeafServer* ChooseLeaf(bool* used_restarting_fallback);
+
+  const TailerStats& stats() const { return stats_; }
+  uint64_t log_offset() const { return offset_; }
+  uint64_t backlog() const;
+
+  /// Replaces the leaf set (rollovers replace LeafServer objects).
+  void SetLeaves(std::vector<LeafServer*> leaves) {
+    leaves_ = std::move(leaves);
+  }
+
+ private:
+  TailerConfig config_;
+  CategoryLog* log_;
+  std::vector<LeafServer*> leaves_;
+  Random random_;
+  uint64_t offset_ = 0;
+  TailerStats stats_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_INGEST_TAILER_H_

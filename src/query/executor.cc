@@ -1,0 +1,320 @@
+#include "query/executor.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace scuba {
+namespace {
+
+// Decoded columns of one scan unit (a row block or the write buffer).
+struct DecodedChunk {
+  size_t row_count = 0;
+  std::unordered_map<std::string, ColumnValues> columns;
+};
+
+// The set of column names a query touches.
+std::set<std::string> NeededColumns(const Query& query) {
+  std::set<std::string> needed;
+  needed.insert(kTimeColumnName);
+  for (const Predicate& p : query.predicates) needed.insert(p.column);
+  for (const std::string& g : query.group_by) needed.insert(g);
+  for (const Aggregate& a : query.aggregates) {
+    if (a.op != AggregateOp::kCount) needed.insert(a.column);
+  }
+  return needed;
+}
+
+// Resolves each needed column to a single type across the table; absent
+// columns default to the predicate literal's type when referenced by a
+// predicate, otherwise int64.
+StatusOr<std::unordered_map<std::string, ColumnType>> ResolveTypes(
+    const Table& table, const Query& query,
+    const std::set<std::string>& needed) {
+  std::unordered_map<std::string, ColumnType> types;
+  auto note = [&](const std::string& name, ColumnType type) -> Status {
+    auto [it, inserted] = types.try_emplace(name, type);
+    if (!inserted && it->second != type) {
+      return Status::InvalidArgument("query: column '" + name +
+                                     "' has conflicting types across blocks");
+    }
+    return Status::OK();
+  };
+
+  for (size_t b = 0; b < table.num_row_blocks(); ++b) {
+    const RowBlock* block = table.row_block(b);
+    if (block == nullptr) continue;
+    for (const ColumnDef& col : block->schema().columns()) {
+      if (needed.count(col.name) > 0) {
+        SCUBA_RETURN_IF_ERROR(note(col.name, col.type));
+      }
+    }
+  }
+  for (const std::string& name : needed) {
+    auto buffered = table.write_buffer().ColumnTypeOf(name);
+    if (buffered.has_value()) SCUBA_RETURN_IF_ERROR(note(name, *buffered));
+  }
+  // Columns seen nowhere: infer from predicates, else default to int64.
+  for (const Predicate& p : query.predicates) {
+    types.try_emplace(p.column, ValueType(p.literal));
+  }
+  for (const std::string& name : needed) {
+    types.try_emplace(name, ColumnType::kInt64);
+  }
+  return types;
+}
+
+ColumnValues DefaultColumn(ColumnType type, size_t rows) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return std::vector<int64_t>(rows, 0);
+    case ColumnType::kDouble:
+      return std::vector<double>(rows, 0.0);
+    case ColumnType::kString:
+      return std::vector<std::string>(rows);
+  }
+  return std::vector<int64_t>(rows, 0);
+}
+
+Status DecodeBlock(const RowBlock& block, const std::set<std::string>& needed,
+                   const std::unordered_map<std::string, ColumnType>& types,
+                   DecodedChunk* chunk) {
+  chunk->row_count = block.header().row_count;
+  for (const std::string& name : needed) {
+    const RowBlockColumn* column = block.ColumnByName(name);
+    ColumnType expected = types.at(name);
+    if (column == nullptr) {
+      chunk->columns.emplace(name, DefaultColumn(expected, chunk->row_count));
+      continue;
+    }
+    switch (expected) {
+      case ColumnType::kInt64: {
+        std::vector<int64_t> values;
+        SCUBA_RETURN_IF_ERROR(column->DecodeInt64(&values));
+        chunk->columns.emplace(name, std::move(values));
+        break;
+      }
+      case ColumnType::kDouble: {
+        std::vector<double> values;
+        SCUBA_RETURN_IF_ERROR(column->DecodeDouble(&values));
+        chunk->columns.emplace(name, std::move(values));
+        break;
+      }
+      case ColumnType::kString: {
+        std::vector<std::string> values;
+        SCUBA_RETURN_IF_ERROR(column->DecodeString(&values));
+        chunk->columns.emplace(name, std::move(values));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeBuffer(const WriteBuffer& buffer,
+                    const std::set<std::string>& needed,
+                    const std::unordered_map<std::string, ColumnType>& types,
+                    DecodedChunk* chunk) {
+  chunk->row_count = buffer.row_count();
+  for (const std::string& name : needed) {
+    auto values = buffer.MaterializeColumn(name);
+    if (values.has_value()) {
+      chunk->columns.emplace(name, std::move(*values));
+    } else {
+      chunk->columns.emplace(name,
+                             DefaultColumn(types.at(name), chunk->row_count));
+    }
+  }
+  return Status::OK();
+}
+
+// Three-way comparison of a column cell against a literal of the same type.
+template <typename T>
+int Compare3(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+StatusOr<int> CompareCell(const ColumnValues& column, size_t row,
+                          const Value& literal, const std::string& name) {
+  if (const auto* ints = std::get_if<std::vector<int64_t>>(&column)) {
+    const int64_t* lit = std::get_if<int64_t>(&literal);
+    if (lit == nullptr) {
+      return Status::InvalidArgument("query: predicate on int64 column '" +
+                                     name + "' needs an int64 literal");
+    }
+    return Compare3((*ints)[row], *lit);
+  }
+  if (const auto* dbls = std::get_if<std::vector<double>>(&column)) {
+    const double* lit = std::get_if<double>(&literal);
+    if (lit == nullptr) {
+      return Status::InvalidArgument("query: predicate on double column '" +
+                                     name + "' needs a double literal");
+    }
+    return Compare3((*dbls)[row], *lit);
+  }
+  const auto& strs = std::get<std::vector<std::string>>(column);
+  const std::string* lit = std::get_if<std::string>(&literal);
+  if (lit == nullptr) {
+    return Status::InvalidArgument("query: predicate on string column '" +
+                                   name + "' needs a string literal");
+  }
+  return Compare3(strs[row], *lit);
+}
+
+bool ApplyOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kContains:
+    case CompareOp::kPrefix:
+      return false;  // handled by EvalPredicate before Compare3
+  }
+  return false;
+}
+
+// Full predicate evaluation for one cell, including the string-only text
+// operators.
+StatusOr<bool> EvalPredicate(const Predicate& pred, const ColumnValues& column,
+                             size_t row) {
+  if (pred.op == CompareOp::kContains || pred.op == CompareOp::kPrefix) {
+    const auto* strs = std::get_if<std::vector<std::string>>(&column);
+    const std::string* lit = std::get_if<std::string>(&pred.literal);
+    if (strs == nullptr || lit == nullptr) {
+      return Status::InvalidArgument(
+          "query: '" + std::string(CompareOpName(pred.op)) +
+          "' requires a string column and literal (column '" + pred.column +
+          "')");
+    }
+    const std::string& cell = (*strs)[row];
+    if (pred.op == CompareOp::kPrefix) {
+      return cell.size() >= lit->size() &&
+             cell.compare(0, lit->size(), *lit) == 0;
+    }
+    return cell.find(*lit) != std::string::npos;
+  }
+  SCUBA_ASSIGN_OR_RETURN(int cmp,
+                         CompareCell(column, row, pred.literal, pred.column));
+  return ApplyOp(pred.op, cmp);
+}
+
+Value CellValue(const ColumnValues& column, size_t row) {
+  if (const auto* ints = std::get_if<std::vector<int64_t>>(&column)) {
+    return (*ints)[row];
+  }
+  if (const auto* dbls = std::get_if<std::vector<double>>(&column)) {
+    return (*dbls)[row];
+  }
+  return std::get<std::vector<std::string>>(column)[row];
+}
+
+StatusOr<double> NumericCell(const ColumnValues& column, size_t row,
+                             const std::string& name) {
+  if (const auto* ints = std::get_if<std::vector<int64_t>>(&column)) {
+    return static_cast<double>((*ints)[row]);
+  }
+  if (const auto* dbls = std::get_if<std::vector<double>>(&column)) {
+    return (*dbls)[row];
+  }
+  return Status::InvalidArgument("query: aggregate over string column '" +
+                                 name + "'");
+}
+
+Status ProcessChunk(const DecodedChunk& chunk, const Query& query,
+                    QueryResult* result) {
+  const auto& times =
+      std::get<std::vector<int64_t>>(chunk.columns.at(kTimeColumnName));
+
+  const bool bucketed = query.time_bucket_seconds > 0;
+  const size_t key_offset = bucketed ? 1 : 0;
+  std::vector<Value> group_key(query.group_by.size() + key_offset);
+  std::vector<QueryResult::Sample> samples(query.aggregates.size());
+
+  for (size_t row = 0; row < chunk.row_count; ++row) {
+    ++result->rows_scanned;
+    if (times[row] < query.begin_time || times[row] > query.end_time) {
+      continue;
+    }
+    bool match = true;
+    for (const Predicate& pred : query.predicates) {
+      SCUBA_ASSIGN_OR_RETURN(
+          bool ok, EvalPredicate(pred, chunk.columns.at(pred.column), row));
+      if (!ok) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++result->rows_matched;
+
+    if (bucketed) {
+      // Floor-divide toward negative infinity so pre-epoch times bucket
+      // consistently.
+      int64_t w = query.time_bucket_seconds;
+      int64_t t = times[row];
+      int64_t bucket = (t >= 0 ? t / w : (t - w + 1) / w) * w;
+      group_key[0] = bucket;
+    }
+    for (size_t g = 0; g < query.group_by.size(); ++g) {
+      group_key[g + key_offset] =
+          CellValue(chunk.columns.at(query.group_by[g]), row);
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const Aggregate& agg = query.aggregates[a];
+      if (agg.op == AggregateOp::kCount) {
+        samples[a] = {0.0, false};
+      } else {
+        SCUBA_ASSIGN_OR_RETURN(
+            double v,
+            NumericCell(chunk.columns.at(agg.column), row, agg.column));
+        samples[a] = {v, true};
+      }
+    }
+    result->Accumulate(group_key, samples);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
+                                            const Query& query) {
+  SCUBA_RETURN_IF_ERROR(query.Validate());
+
+  QueryResult result(query.aggregates);
+  std::set<std::string> needed = NeededColumns(query);
+  SCUBA_ASSIGN_OR_RETURN(auto types, ResolveTypes(table, query, needed));
+
+  for (size_t b = 0; b < table.num_row_blocks(); ++b) {
+    const RowBlock* block = table.row_block(b);
+    if (block == nullptr) continue;
+    if (!block->OverlapsTimeRange(query.begin_time, query.end_time)) {
+      ++result.blocks_pruned;
+      continue;
+    }
+    DecodedChunk chunk;
+    SCUBA_RETURN_IF_ERROR(DecodeBlock(*block, needed, types, &chunk));
+    SCUBA_RETURN_IF_ERROR(ProcessChunk(chunk, query, &result));
+    ++result.blocks_scanned;
+  }
+
+  if (!table.write_buffer().empty()) {
+    DecodedChunk chunk;
+    SCUBA_RETURN_IF_ERROR(
+        DecodeBuffer(table.write_buffer(), needed, types, &chunk));
+    SCUBA_RETURN_IF_ERROR(ProcessChunk(chunk, query, &result));
+  }
+  return result;
+}
+
+}  // namespace scuba

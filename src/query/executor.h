@@ -1,0 +1,31 @@
+#ifndef SCUBA_QUERY_EXECUTOR_H_
+#define SCUBA_QUERY_EXECUTOR_H_
+
+#include "columnar/table.h"
+#include "query/query.h"
+#include "query/result.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Leaf-side query execution over one table:
+///
+///  1. Row blocks whose [min_time, max_time] misses the query's time range
+///     are pruned without decoding ("the minimum and maximum timestamps
+///     are used to decide whether to even look at a row block", §2.1).
+///  2. Surviving blocks decode only the columns the query touches.
+///  3. Rows are filtered (time range + predicates), grouped, aggregated.
+///  4. Buffered (not-yet-sealed) rows are scanned too, so fresh inserts
+///     are visible immediately.
+///
+/// Columns missing from a block's schema read as the column type's default
+/// value (the same densification rule the write path applies). A column
+/// whose type differs across blocks fails with InvalidArgument.
+class LeafExecutor {
+ public:
+  static StatusOr<QueryResult> Execute(const Table& table, const Query& query);
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_QUERY_EXECUTOR_H_

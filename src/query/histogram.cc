@@ -1,0 +1,64 @@
+#include "query/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scuba {
+namespace {
+
+// log(kMaxValue / kMinValue) precomputed for the bucket transform.
+const double kLogSpan = std::log(Histogram::kMaxValue / Histogram::kMinValue);
+
+}  // namespace
+
+int Histogram::BucketFor(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN, <= 0
+  if (value >= kMaxValue) return kNumBuckets - 1;
+  double fraction = std::log(value / kMinValue) / kLogSpan;
+  int bucket = static_cast<int>(fraction * kNumBuckets);
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketMidpoint(int bucket) {
+  // Geometric midpoint of [lo, hi) where the bounds are exponential in
+  // the bucket index.
+  double lo_frac = static_cast<double>(bucket) / kNumBuckets;
+  double hi_frac = static_cast<double>(bucket + 1) / kNumBuckets;
+  double lo = kMinValue * std::exp(lo_frac * kLogSpan);
+  double hi = kMinValue * std::exp(hi_frac * kLogSpan);
+  return std::sqrt(lo * hi);
+}
+
+void Histogram::Add(double value) {
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+  ++count_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.empty()) return;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] +=
+        other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+}
+
+double Histogram::ValueAtPercentile(double p) const {
+  if (empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the target sample (1-based, nearest-rank method).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::max<uint64_t>(rank, 1);
+
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= rank) return BucketMidpoint(i);
+  }
+  return BucketMidpoint(kNumBuckets - 1);
+}
+
+}  // namespace scuba

@@ -1,0 +1,47 @@
+#ifndef SCUBA_QUERY_HISTOGRAM_H_
+#define SCUBA_QUERY_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scuba {
+
+/// Mergeable log-bucketed histogram for percentile aggregates (p50/p90/
+/// p99 latency is the canonical Scuba dashboard). Like the rest of the
+/// query engine's partial state, histograms from different leaves merge
+/// exactly (bucket-wise addition), so percentile queries compose across
+/// the cluster the same way count/sum/min/max do; only the within-bucket
+/// interpolation is approximate (bounded by the bucket ratio, ~5.5%).
+///
+/// Geometry: 512 buckets spanning [kMinValue, kMaxValue) geometrically
+/// (1e-3 .. 1e9; values outside clamp to the edge buckets). Storage is
+/// lazy: a histogram that never sees a sample owns no memory.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 512;
+  static constexpr double kMinValue = 1e-3;
+  static constexpr double kMaxValue = 1e9;
+
+  Histogram() = default;
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Value at percentile `p` in [0, 100]: the geometric midpoint of the
+  /// bucket containing the p-th sample. Returns 0 for an empty histogram.
+  double ValueAtPercentile(double p) const;
+
+ private:
+  static int BucketFor(double value);
+  static double BucketMidpoint(int bucket);
+
+  std::vector<uint64_t> buckets_;  // empty until the first Add
+  uint64_t count_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_QUERY_HISTOGRAM_H_

@@ -1,0 +1,75 @@
+#include "query/query.h"
+
+namespace scuba {
+
+std::string_view AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kCount:
+      return "count";
+    case AggregateOp::kSum:
+      return "sum";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+    case AggregateOp::kAvg:
+      return "avg";
+    case AggregateOp::kP50:
+      return "p50";
+    case AggregateOp::kP90:
+      return "p90";
+    case AggregateOp::kP99:
+      return "p99";
+  }
+  return "unknown";
+}
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kContains:
+      return "contains";
+    case CompareOp::kPrefix:
+      return "prefix";
+  }
+  return "?";
+}
+
+Status Query::Validate() const {
+  if (table.empty()) {
+    return Status::InvalidArgument("query: table name required");
+  }
+  if (aggregates.empty()) {
+    return Status::InvalidArgument("query: at least one aggregate required");
+  }
+  if (begin_time > end_time) {
+    return Status::InvalidArgument("query: begin_time > end_time");
+  }
+  if (time_bucket_seconds < 0) {
+    return Status::InvalidArgument("query: negative time bucket");
+  }
+  for (const Aggregate& agg : aggregates) {
+    if (agg.op != AggregateOp::kCount && agg.column.empty()) {
+      return Status::InvalidArgument("query: aggregate needs a column");
+    }
+  }
+  for (const Predicate& pred : predicates) {
+    if (pred.column.empty()) {
+      return Status::InvalidArgument("query: predicate needs a column");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scuba

@@ -1,0 +1,109 @@
+#ifndef SCUBA_QUERY_QUERY_H_
+#define SCUBA_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Aggregation operators for Scuba-style analysis queries. The percentile
+/// operators aggregate through mergeable log-bucketed histograms
+/// (query/histogram.h) so they compose across leaves like sum/min/max.
+enum class AggregateOp {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kP50,
+  kP90,
+  kP99,
+};
+
+std::string_view AggregateOpName(AggregateOp op);
+
+/// True for the histogram-backed percentile operators.
+inline bool IsPercentileOp(AggregateOp op) {
+  return op == AggregateOp::kP50 || op == AggregateOp::kP90 ||
+         op == AggregateOp::kP99;
+}
+
+/// Comparison operators for column predicates. kContains and kPrefix are
+/// string-only substring/prefix matches (Scuba's text filters).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kContains, kPrefix };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// One column predicate: <column> <op> <literal>. The literal's type must
+/// match the column's type; a column absent from a row block reads as the
+/// type's default value (dense-schema semantics).
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// One aggregate: op over a column. kCount ignores the column (may be
+/// empty); kSum/kMin/kMax/kAvg require a numeric column.
+struct Aggregate {
+  AggregateOp op = AggregateOp::kCount;
+  std::string column;
+};
+
+/// An aggregation query over one table. "Nearly all queries contain
+/// predicates on time" (§2.1) — the [begin_time, end_time] range is
+/// mandatory and drives row block pruning via each block's min/max time.
+struct Query {
+  std::string table;
+  int64_t begin_time = 0;
+  int64_t end_time = std::numeric_limits<int64_t>::max();
+  std::vector<Predicate> predicates;
+  /// When > 0, results are additionally grouped by time bucket: each
+  /// matching row lands in the bucket starting at
+  /// floor(time / time_bucket_seconds) * time_bucket_seconds, and the
+  /// bucket start becomes the FIRST element of every result group key.
+  /// This is the Scuba dashboard primitive (per-minute error counts,
+  /// latency timelines).
+  int64_t time_bucket_seconds = 0;
+  std::vector<std::string> group_by;
+  std::vector<Aggregate> aggregates;
+  /// Maximum number of groups in the final result (0 = unlimited);
+  /// applied after merging, ordered by group key.
+  uint64_t limit = 0;
+
+  /// Structural validation (at least one aggregate, time range sane).
+  Status Validate() const;
+};
+
+/// Convenience builders.
+inline Aggregate Count() { return Aggregate{AggregateOp::kCount, ""}; }
+inline Aggregate Sum(std::string column) {
+  return Aggregate{AggregateOp::kSum, std::move(column)};
+}
+inline Aggregate Min(std::string column) {
+  return Aggregate{AggregateOp::kMin, std::move(column)};
+}
+inline Aggregate Max(std::string column) {
+  return Aggregate{AggregateOp::kMax, std::move(column)};
+}
+inline Aggregate Avg(std::string column) {
+  return Aggregate{AggregateOp::kAvg, std::move(column)};
+}
+inline Aggregate P50(std::string column) {
+  return Aggregate{AggregateOp::kP50, std::move(column)};
+}
+inline Aggregate P90(std::string column) {
+  return Aggregate{AggregateOp::kP90, std::move(column)};
+}
+inline Aggregate P99(std::string column) {
+  return Aggregate{AggregateOp::kP99, std::move(column)};
+}
+
+}  // namespace scuba
+
+#endif  // SCUBA_QUERY_QUERY_H_

@@ -1,0 +1,105 @@
+#include "query/result.h"
+
+#include "util/byte_buffer.h"
+
+namespace scuba {
+
+std::string QueryResult::EncodeKey(const std::vector<Value>& key) {
+  ByteBuffer buf;
+  for (const Value& v : key) {
+    buf.AppendU8(static_cast<uint8_t>(ValueType(v)));
+    switch (ValueType(v)) {
+      case ColumnType::kInt64: {
+        // Order-preserving encoding: flip the sign bit, big-endian bytes.
+        uint64_t bits = static_cast<uint64_t>(std::get<int64_t>(v)) ^
+                        (1ull << 63);
+        for (int i = 7; i >= 0; --i) {
+          buf.AppendU8(static_cast<uint8_t>(bits >> (8 * i)));
+        }
+        break;
+      }
+      case ColumnType::kDouble: {
+        uint64_t bits;
+        std::memcpy(&bits, &std::get<double>(v), 8);
+        // Total-order trick: positive doubles flip sign bit, negatives
+        // flip all bits.
+        bits = (bits & (1ull << 63)) ? ~bits : (bits | (1ull << 63));
+        for (int i = 7; i >= 0; --i) {
+          buf.AppendU8(static_cast<uint8_t>(bits >> (8 * i)));
+        }
+        break;
+      }
+      case ColumnType::kString: {
+        const std::string& s = std::get<std::string>(v);
+        buf.Append(s.data(), s.size());
+        buf.AppendU8(0);  // terminator keeps prefixes ordered
+        break;
+      }
+    }
+  }
+  return std::string(reinterpret_cast<const char*>(buf.data()), buf.size());
+}
+
+void QueryResult::Accumulate(const std::vector<Value>& group_key,
+                             const std::vector<Sample>& samples) {
+  std::string key = EncodeKey(group_key);
+  auto [it, inserted] = groups_.try_emplace(std::move(key));
+  Group& group = it->second;
+  if (inserted) {
+    group.key = group_key;
+    group.partials.resize(ops_.size());
+  }
+  for (size_t i = 0; i < samples.size() && i < group.partials.size(); ++i) {
+    if (samples[i].has_sample) {
+      group.partials[i].AddSample(samples[i].value,
+                                  IsPercentileOp(ops_[i]));
+    } else {
+      group.partials[i].AddCountOnly();
+    }
+  }
+}
+
+void QueryResult::Merge(const QueryResult& other) {
+  if (ops_.empty()) ops_ = other.ops_;
+  for (const auto& [key, other_group] : other.groups_) {
+    auto [it, inserted] = groups_.try_emplace(key);
+    Group& group = it->second;
+    if (inserted) {
+      group.key = other_group.key;
+      group.partials.resize(ops_.size());
+    }
+    for (size_t i = 0;
+         i < other_group.partials.size() && i < group.partials.size(); ++i) {
+      group.partials[i].Merge(other_group.partials[i]);
+    }
+  }
+  rows_scanned += other.rows_scanned;
+  rows_matched += other.rows_matched;
+  blocks_scanned += other.blocks_scanned;
+  blocks_pruned += other.blocks_pruned;
+  leaves_total += other.leaves_total;
+  leaves_responded += other.leaves_responded;
+}
+
+std::vector<ResultRow> QueryResult::Finalize(
+    const std::vector<Aggregate>& aggregates, uint64_t limit) const {
+  std::vector<ResultRow> rows;
+  rows.reserve(limit > 0 ? std::min<uint64_t>(limit, groups_.size())
+                         : groups_.size());
+  for (const auto& [key, group] : groups_) {
+    if (limit > 0 && rows.size() >= limit) break;
+    ResultRow row;
+    row.group_key = group.key;
+    row.aggregates.reserve(aggregates.size());
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      double v = i < group.partials.size()
+                     ? group.partials[i].Finalize(aggregates[i].op)
+                     : 0.0;
+      row.aggregates.push_back(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace scuba

@@ -1,0 +1,76 @@
+#include "server/aggregator.h"
+
+#include <mutex>
+#include <thread>
+
+namespace scuba {
+
+StatusOr<QueryResult> Aggregator::Execute(const Query& query) {
+  SCUBA_RETURN_IF_ERROR(query.Validate());
+  return parallel_fanout_ ? ExecuteParallel(query)
+                          : ExecuteSequential(query);
+}
+
+StatusOr<QueryResult> Aggregator::ExecuteSequential(const Query& query) {
+  QueryResult merged(query.aggregates);
+  merged.leaves_total = static_cast<uint32_t>(leaves_.size());
+
+  for (LeafServer* leaf : leaves_) {
+    auto result = leaf->ExecuteQuery(query);
+    if (!result.ok()) {
+      if (result.status().IsUnavailable()) {
+        // Restarting leaf: its data is simply missing from the result.
+        continue;
+      }
+      return result.status();
+    }
+    // Count the leaf once; the per-leaf result already carries 1/1.
+    result->leaves_total = 0;
+    result->leaves_responded = 0;
+    merged.Merge(*result);
+    ++merged.leaves_responded;
+  }
+  return merged;
+}
+
+StatusOr<QueryResult> Aggregator::ExecuteParallel(const Query& query) {
+  QueryResult merged(query.aggregates);
+  merged.leaves_total = static_cast<uint32_t>(leaves_.size());
+
+  std::mutex merge_mutex;
+  Status first_error;  // OK unless a leaf hit a real (non-Unavailable) error
+
+  std::vector<std::thread> workers;
+  workers.reserve(leaves_.size());
+  for (LeafServer* leaf : leaves_) {
+    workers.emplace_back([&, leaf] {
+      auto result = leaf->ExecuteQuery(query);
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      if (!result.ok()) {
+        if (!result.status().IsUnavailable() && first_error.ok()) {
+          first_error = result.status();
+        }
+        return;
+      }
+      result->leaves_total = 0;
+      result->leaves_responded = 0;
+      merged.Merge(*result);  // merge as results arrive (§2)
+      ++merged.leaves_responded;
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  if (!first_error.ok()) return first_error;
+  return merged;
+}
+
+double Aggregator::AvailableFraction() const {
+  if (leaves_.empty()) return 1.0;
+  size_t available = 0;
+  for (LeafServer* leaf : leaves_) {
+    if (leaf->CanAcceptQueries()) ++available;
+  }
+  return static_cast<double>(available) / static_cast<double>(leaves_.size());
+}
+
+}  // namespace scuba

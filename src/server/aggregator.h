@@ -1,0 +1,60 @@
+#ifndef SCUBA_SERVER_AGGREGATOR_H_
+#define SCUBA_SERVER_AGGREGATOR_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "query/result.h"
+#include "server/leaf_server.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// The aggregator server (§2, Fig 1): "distributes a query to all leaves
+/// and then aggregates the results as they arrive". Leaves that are
+/// restarting simply do not contribute — "Scuba can and does return
+/// partial query results when not all servers are available" (§1). The
+/// result's leaves_total / leaves_responded expose how partial it is.
+class Aggregator {
+ public:
+  Aggregator() = default;
+
+  /// Registers a leaf. Does not take ownership; leaves must outlive the
+  /// aggregator.
+  void AddLeaf(LeafServer* leaf) { leaves_.push_back(leaf); }
+
+  /// Replaces the leaf set (rollovers replace LeafServer objects).
+  void SetLeaves(std::vector<LeafServer*> leaves) {
+    leaves_ = std::move(leaves);
+  }
+
+  size_t num_leaves() const { return leaves_.size(); }
+  LeafServer* leaf(size_t i) { return leaves_[i]; }
+
+  /// Fans the query out to every registered leaf and merges the partials.
+  /// Individual leaf Unavailable states are recorded (partial result),
+  /// not propagated; real query errors are propagated.
+  /// With parallel fan-out enabled, leaves execute on separate threads and
+  /// results are merged as they arrive (§2: "the aggregator servers
+  /// distribute a query to all leaves and then aggregate the results as
+  /// they arrive from the leaves").
+  StatusOr<QueryResult> Execute(const Query& query);
+
+  /// Enables/disables threaded fan-out (default: sequential — the leaves
+  /// on one machine share one core in this reproduction's benches).
+  void SetParallelFanout(bool parallel) { parallel_fanout_ = parallel; }
+
+  /// Fraction of leaves currently answering queries, in [0, 1].
+  double AvailableFraction() const;
+
+ private:
+  StatusOr<QueryResult> ExecuteSequential(const Query& query);
+  StatusOr<QueryResult> ExecuteParallel(const Query& query);
+
+  std::vector<LeafServer*> leaves_;
+  bool parallel_fanout_ = false;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_SERVER_AGGREGATOR_H_

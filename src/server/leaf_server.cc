@@ -1,0 +1,346 @@
+#include "server/leaf_server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace scuba {
+namespace {
+
+RestartConfig MakeRestartConfig(const LeafServerConfig& config) {
+  RestartConfig rc;
+  rc.namespace_prefix = config.namespace_prefix;
+  rc.leaf_id = config.leaf_id;
+  rc.backup_dir = config.backup_dir;
+  rc.backup_format = config.backup_format;
+  rc.memory_recovery_enabled = config.memory_recovery_enabled;
+  rc.restore.verify_checksums = config.verify_checksums_on_restore;
+  rc.restore.table_limits = config.default_table_limits;
+  rc.disk.throttle_bytes_per_sec = config.disk_throttle_bytes_per_sec;
+  rc.disk.table_limits = config.default_table_limits;
+  rc.columnar_disk.throttle_bytes_per_sec = config.disk_throttle_bytes_per_sec;
+  rc.columnar_disk.verify_checksums = config.verify_checksums_on_restore;
+  rc.columnar_disk.table_limits = config.default_table_limits;
+  return rc;
+}
+
+}  // namespace
+
+LeafServer::LeafServer(LeafServerConfig config)
+    : config_(std::move(config)),
+      restart_manager_(MakeRestartConfig(config_)),
+      backup_writer_(config_.backup_dir),
+      columnar_writer_(config_.backup_dir) {}
+
+void LeafServer::InstallSealObserver(Table* table) {
+  if (!UsesColumnarBackup()) return;
+  std::string name = table->name();
+  table->SetSealObserver([this, name](const RowBlock& block) {
+    return columnar_writer_.OnBlockSealed(name, block);
+  });
+}
+
+Status LeafServer::BackupBatch(const std::string& table,
+                               const std::vector<Row>& rows) {
+  if (config_.backup_dir.empty()) return Status::OK();
+  if (UsesColumnarBackup()) return columnar_writer_.AppendBatch(table, rows);
+  return backup_writer_.AppendBatch(table, rows);
+}
+
+Status LeafServer::SyncBackups() {
+  if (config_.backup_dir.empty()) return Status::OK();
+  if (UsesColumnarBackup()) return columnar_writer_.SyncAll();
+  return backup_writer_.SyncAll();
+}
+
+Clock* LeafServer::clock() const {
+  return config_.clock != nullptr ? config_.clock : RealClock::Get();
+}
+
+StatusOr<RecoveryResult> LeafServer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (leaf_state_.state() != LeafState::kInit) {
+    return Status::FailedPrecondition("leaf server already started");
+  }
+  if (!config_.backup_dir.empty()) {
+    SCUBA_RETURN_IF_ERROR(UsesColumnarBackup() ? columnar_writer_.Init()
+                                               : backup_writer_.Init());
+  }
+
+  // Fig 5b: INIT -> MEMORY_RECOVERY if enabled, else DISK_RECOVERY.
+  if (config_.memory_recovery_enabled) {
+    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kMemoryRecovery));
+  } else {
+    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kDiskRecovery));
+  }
+
+  SCUBA_ASSIGN_OR_RETURN(
+      last_recovery_,
+      restart_manager_.Recover(&leaf_map_, clock()->NowUnixSeconds()));
+
+  // Exception edge: memory recovery attempted but the data came from disk.
+  if (leaf_state_.state() == LeafState::kMemoryRecovery &&
+      last_recovery_.source != RecoverySource::kSharedMemory) {
+    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kDiskRecovery));
+  }
+  SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kAlive));
+
+  // Table state machines mirror the leaf's recovery path (Fig 5d).
+  for (const std::string& name : leaf_map_.TableNames()) {
+    TableStateMachine& ts = table_states_[name];
+    Status s = ts.Transition(last_recovery_.source ==
+                                     RecoverySource::kSharedMemory
+                                 ? TableState::kMemoryRecovery
+                                 : TableState::kDiskRecovery);
+    if (s.ok()) s = ts.Transition(TableState::kAlive);
+    SCUBA_RETURN_IF_ERROR(s);
+    InstallSealObserver(leaf_map_.GetTable(name));
+  }
+
+  SCUBA_INFO << "leaf " << config_.leaf_id << " alive ("
+             << RecoverySourceName(last_recovery_.source) << " recovery, "
+             << leaf_map_.TotalRowCount() << " rows)";
+  return last_recovery_;
+}
+
+Status LeafServer::AddRows(const std::string& table,
+                           const std::vector<Row>& rows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!leaf_state_.CanAcceptAdds()) {
+    return Status::Unavailable("leaf " + std::to_string(config_.leaf_id) +
+                               " not accepting adds (state " +
+                               std::string(LeafStateName(leaf_state_.state())) +
+                               ")");
+  }
+  auto [it, inserted] = table_states_.try_emplace(table);
+  if (inserted) {
+    // Fresh table created by ingest goes straight to ALIVE.
+    SCUBA_RETURN_IF_ERROR(it->second.Transition(TableState::kAlive));
+  }
+  if (!it->second.CanAcceptAdds()) {
+    return Status::Unavailable("table '" + table + "' not accepting adds");
+  }
+
+  // Backup first ("Scuba stores backups of all incoming data to disk",
+  // §4.1), then the in-memory store.
+  SCUBA_RETURN_IF_ERROR(BackupBatch(table, rows));
+  Table* t = leaf_map_.GetTable(table);
+  if (t == nullptr) {
+    SCUBA_ASSIGN_OR_RETURN(
+        t, leaf_map_.CreateTable(table, config_.default_table_limits));
+    InstallSealObserver(t);
+  }
+  size_t blocks_before = t->num_row_blocks();
+  SCUBA_RETURN_IF_ERROR(t->AddRows(rows, clock()->NowUnixSeconds()));
+
+  // Columnar backup: a seal during this batch rotated the tail away,
+  // taking the batch's unsealed suffix with it — re-seed the fresh tail
+  // from the write buffer so blocks + tail always cover every row.
+  if (UsesColumnarBackup() && t->num_row_blocks() != blocks_before &&
+      !t->write_buffer().empty()) {
+    SCUBA_RETURN_IF_ERROR(columnar_writer_.AppendBatch(
+        table, t->write_buffer().MaterializeRows()));
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!leaf_state_.CanAcceptQueries()) {
+    return Status::Unavailable("leaf " + std::to_string(config_.leaf_id) +
+                               " not accepting queries (state " +
+                               std::string(LeafStateName(leaf_state_.state())) +
+                               ")");
+  }
+  const Table* table = leaf_map_.GetTable(query.table);
+  if (table == nullptr) {
+    // This leaf holds no fraction of the table: empty (not an error).
+    QueryResult empty(query.aggregates);
+    empty.leaves_total = 1;
+    empty.leaves_responded = 1;
+    return empty;
+  }
+  auto ts_it = table_states_.find(query.table);
+  if (ts_it != table_states_.end() && !ts_it->second.CanAcceptQueries()) {
+    return Status::Unavailable("table '" + query.table +
+                               "' not accepting queries");
+  }
+  SCUBA_ASSIGN_OR_RETURN(QueryResult result,
+                         LeafExecutor::Execute(*table, query));
+  result.leaves_total = 1;
+  result.leaves_responded = 1;
+  return result;
+}
+
+size_t LeafServer::ExpireData() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!leaf_state_.CanDeleteExpired()) return 0;
+  size_t dropped = 0;
+  int64_t now = clock()->NowUnixSeconds();
+  for (const std::string& name : leaf_map_.TableNames()) {
+    auto ts_it = table_states_.find(name);
+    if (ts_it != table_states_.end() && !ts_it->second.CanDeleteExpired()) {
+      // "Scuba stops deleting expired table data once shutdown starts"
+      // (Fig 5 caption).
+      continue;
+    }
+    dropped += leaf_map_.GetTable(name)->ExpireData(now);
+  }
+  return dropped;
+}
+
+Status LeafServer::ShutdownToSharedMemory(ShutdownStats* stats,
+                                          FootprintTracker* tracker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t now = clock()->NowUnixSeconds();
+
+  // Fig 5a: ALIVE -> COPY_TO_SHM. The mutex we hold IS the drain: no add,
+  // query, or delete can be in flight past this point.
+  SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kCopyToShm));
+
+  // Fig 5c per-table PREPARE: reject new work (done via state), finish
+  // in-flight work (mutex), seal buffers, flush data to disk.
+  for (const std::string& name : leaf_map_.TableNames()) {
+    TableStateMachine& ts = table_states_[name];
+    if (ts.state() == TableState::kInit) {
+      SCUBA_RETURN_IF_ERROR(ts.Transition(TableState::kAlive));
+    }
+    SCUBA_RETURN_IF_ERROR(ts.Transition(TableState::kPrepare));
+    SCUBA_RETURN_IF_ERROR(leaf_map_.GetTable(name)->SealWriteBuffer(now));
+  }
+  SCUBA_RETURN_IF_ERROR(SyncBackups());
+  for (auto& [name, ts] : table_states_) {
+    if (ts.state() == TableState::kPrepare) {
+      SCUBA_RETURN_IF_ERROR(ts.Transition(TableState::kCopyToShm));
+    }
+  }
+
+  // Failure injection (§4.3 watchdog): the process is "killed" mid-copy.
+  // Any partial segments have valid=false and are scrubbed; the backups
+  // flushed above are the successor's only source.
+  if (inject_shutdown_kill_) {
+    inject_shutdown_kill_ = false;
+    restart_manager_.ScrubSharedMemory();
+    leaf_map_.Clear();
+    table_states_.clear();
+    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kExit));
+    return Status::Aborted("shutdown killed by watchdog (injected)");
+  }
+
+  // Fig 6: the chunked copy itself.
+  RestartConfig rc = restart_manager_.config();
+  rc.shutdown.now = now;
+  RestartManager manager(rc);
+  SCUBA_RETURN_IF_ERROR(manager.Shutdown(&leaf_map_, stats, tracker));
+
+  for (auto& [name, ts] : table_states_) {
+    if (ts.state() == TableState::kCopyToShm) {
+      SCUBA_RETURN_IF_ERROR(ts.Transition(TableState::kDone));
+    }
+  }
+  return leaf_state_.Transition(LeafState::kExit);
+}
+
+void LeafServer::Crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  leaf_map_.Clear();
+  table_states_.clear();
+  // No valid bit is ever set on this path; the next process will find
+  // either nothing or a stale metadata segment with valid=false and will
+  // recover from disk (§4, "we do not use shared memory to recover from a
+  // crash").
+}
+
+LeafServer::Stats LeafServer::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.leaf_id = config_.leaf_id;
+  stats.state = leaf_state_.state();
+  stats.last_recovery_source = last_recovery_.source;
+  stats.last_recovery_micros =
+      last_recovery_.source == RecoverySource::kSharedMemory
+          ? last_recovery_.shm_stats.elapsed_micros
+          : last_recovery_.disk_stats.read_micros +
+                last_recovery_.disk_stats.translate_micros +
+                last_recovery_.columnar_stats.read_micros +
+                last_recovery_.columnar_stats.translate_micros;
+  stats.total_rows = leaf_map_.TotalRowCount();
+  stats.memory_used_bytes = leaf_map_.TotalMemoryBytes();
+  stats.memory_capacity_bytes = config_.memory_capacity_bytes;
+
+  for (const std::string& name : leaf_map_.TableNames()) {
+    const Table* table = leaf_map_.GetTable(name);
+    TableStats ts;
+    ts.name = name;
+    ts.row_count = table->RowCount();
+    ts.buffered_rows = table->write_buffer().row_count();
+    ts.num_row_blocks = table->num_row_blocks();
+    ts.heap_bytes = table->MemoryBytes();
+    bool first_block = true;
+    uint64_t sealed_bytes = 0;
+    for (size_t b = 0; b < table->num_row_blocks(); ++b) {
+      const RowBlock* block = table->row_block(b);
+      if (block == nullptr) continue;
+      sealed_bytes += block->MemoryBytes();
+      for (size_t c = 0; c < block->num_columns(); ++c) {
+        if (block->column(c) != nullptr) {
+          ts.uncompressed_bytes += block->column(c)->uncompressed_bytes();
+        }
+      }
+      if (first_block) {
+        ts.min_time = block->header().min_time;
+        ts.max_time = block->header().max_time;
+        first_block = false;
+      } else {
+        ts.min_time = std::min(ts.min_time, block->header().min_time);
+        ts.max_time = std::max(ts.max_time, block->header().max_time);
+      }
+    }
+    ts.compression_ratio =
+        sealed_bytes == 0 ? 0.0
+                          : static_cast<double>(ts.uncompressed_bytes) /
+                                static_cast<double>(sealed_bytes);
+    stats.tables.push_back(std::move(ts));
+  }
+  return stats;
+}
+
+LeafState LeafServer::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leaf_state_.state();
+}
+
+bool LeafServer::CanAcceptAdds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leaf_state_.CanAcceptAdds();
+}
+
+bool LeafServer::CanAcceptQueries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leaf_state_.CanAcceptQueries();
+}
+
+uint64_t LeafServer::MemoryUsedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leaf_map_.TotalMemoryBytes();
+}
+
+uint64_t LeafServer::FreeMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t used = leaf_map_.TotalMemoryBytes();
+  return used >= config_.memory_capacity_bytes
+             ? 0
+             : config_.memory_capacity_bytes - used;
+}
+
+uint64_t LeafServer::RowCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leaf_map_.TotalRowCount();
+}
+
+std::vector<std::string> LeafServer::TableNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leaf_map_.TableNames();
+}
+
+}  // namespace scuba

@@ -1,0 +1,176 @@
+#ifndef SCUBA_SERVER_LEAF_SERVER_H_
+#define SCUBA_SERVER_LEAF_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/leaf_map.h"
+#include "core/footprint.h"
+#include "core/restart_manager.h"
+#include "core/state_machine.h"
+#include "disk/backup_writer.h"
+#include "query/executor.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Configuration of one leaf server.
+struct LeafServerConfig {
+  uint32_t leaf_id = 0;
+  /// Isolates this cluster's shm segments (and tests) in /dev/shm.
+  std::string namespace_prefix = "scuba";
+  /// Directory for the per-table on-disk backups.
+  std::string backup_dir;
+  /// On-disk backup format: kRowMajor is the paper's production format
+  /// (slow translate on recovery); kColumnar is its §6 future work
+  /// (sealed blocks stored in the shm column format; fast recovery).
+  BackupFormatKind backup_format = BackupFormatKind::kRowMajor;
+  /// Fig 5b: when false, a new process always disk-recovers.
+  bool memory_recovery_enabled = true;
+  /// Capacity used for free-memory reporting to the tailers' two-choice
+  /// placement (§2). Scuba machines have 144 GB for 8 leaves; scale to
+  /// taste in tests/benches.
+  uint64_t memory_capacity_bytes = 1ull << 30;
+  /// Retention limits applied to tables created via ingest.
+  TableLimits default_table_limits;
+  /// >0 paces disk-recovery reads to model a slow disk.
+  uint64_t disk_throttle_bytes_per_sec = 0;
+  /// Verify RBC checksums during memory recovery.
+  bool verify_checksums_on_restore = true;
+  /// Time source (simulated in tests; real otherwise).
+  Clock* clock = nullptr;
+};
+
+/// A Scuba leaf server (§2): stores row data, ingests batches from
+/// tailers, answers aggregation queries, expires old data, and — the
+/// paper's contribution — hands its memory to its successor process
+/// through shared memory on clean shutdown.
+///
+/// All public operations are gated by the Fig 5 state machines; calls
+/// arriving in the wrong state get Unavailable, which callers (tailers,
+/// aggregators) treat as "pick another leaf / return partial results".
+///
+/// Thread-safe: one internal mutex serializes operations (the production
+/// system runs 8 single-threaded leaves per machine for parallelism, §2 —
+/// the same topology our cluster module uses).
+class LeafServer {
+ public:
+  explicit LeafServer(LeafServerConfig config);
+
+  LeafServer(const LeafServer&) = delete;
+  LeafServer& operator=(const LeafServer&) = delete;
+
+  /// Starts the server: INIT -> MEMORY_RECOVERY or DISK_RECOVERY -> ALIVE
+  /// (Fig 5b). Returns the recovery outcome. Queries and adds are
+  /// accepted per-state while recovery runs (§4.3); since this
+  /// single-process implementation recovers synchronously, Start() returns
+  /// once the leaf is ALIVE.
+  StatusOr<RecoveryResult> Start();
+
+  /// Appends rows to a table: backs them up to disk, then inserts into the
+  /// in-memory store. Unavailable unless the state accepts adds.
+  Status AddRows(const std::string& table, const std::vector<Row>& rows);
+
+  /// Executes a query. Unavailable unless the state accepts queries.
+  /// Querying a table this leaf does not hold yields an empty result
+  /// (leaves hold fractions of tables; aggregators merge).
+  StatusOr<QueryResult> ExecuteQuery(const Query& query);
+
+  /// Applies retention limits across tables (delete requests). Returns
+  /// blocks dropped; 0 when the state forbids deletes.
+  size_t ExpireData();
+
+  /// Clean shutdown via shared memory (Fig 5a/5c + Fig 6):
+  ///   PREPARE: reject new work, seal write buffers, flush backups
+  ///   COPY_TO_SHM: chunked copy of every table, then valid bit
+  ///   EXIT
+  /// After this returns the server object holds no data.
+  Status ShutdownToSharedMemory(ShutdownStats* stats,
+                                FootprintTracker* tracker = nullptr);
+
+  /// Simulates an unclean death: drops in-memory state WITHOUT copying to
+  /// shm or setting the valid bit. Whatever shm segments exist keep their
+  /// valid bits as-is (false unless a previous clean shutdown completed).
+  void Crash();
+
+  /// Failure injection: the next ShutdownToSharedMemory performs PREPARE
+  /// (drain + flush) and then behaves as if the watchdog killed the
+  /// process mid-copy ("we kill the leaf server if it has not shut down
+  /// after 3 minutes", §4.3): partial segments are scrubbed, no valid bit
+  /// is set, and Aborted is returned. The successor must disk-recover.
+  void InjectShutdownKillForTest() { inject_shutdown_kill_ = true; }
+
+  // --- introspection --------------------------------------------------------
+
+  /// Live statistics of one table.
+  struct TableStats {
+    std::string name;
+    uint64_t row_count = 0;
+    uint64_t buffered_rows = 0;
+    size_t num_row_blocks = 0;
+    uint64_t heap_bytes = 0;
+    uint64_t uncompressed_bytes = 0;  // pre-compression size of sealed data
+    double compression_ratio = 0.0;   // uncompressed / sealed heap bytes
+    int64_t min_time = 0;             // across sealed blocks (0 if none)
+    int64_t max_time = 0;
+  };
+
+  /// Live statistics of this leaf — what the §4.5 rollover monitoring and
+  /// the tailers' placement decisions read.
+  struct Stats {
+    uint32_t leaf_id = 0;
+    LeafState state = LeafState::kInit;
+    RecoverySource last_recovery_source = RecoverySource::kFresh;
+    int64_t last_recovery_micros = 0;
+    uint64_t total_rows = 0;
+    uint64_t memory_used_bytes = 0;
+    uint64_t memory_capacity_bytes = 0;
+    std::vector<TableStats> tables;
+  };
+
+  Stats GetStats() const;
+
+  LeafState state() const;
+  bool IsAlive() const { return state() == LeafState::kAlive; }
+  bool CanAcceptAdds() const;
+  bool CanAcceptQueries() const;
+
+  uint64_t MemoryUsedBytes() const;
+  uint64_t FreeMemoryBytes() const;
+  uint64_t RowCount() const;
+  std::vector<std::string> TableNames() const;
+
+  const LeafServerConfig& config() const { return config_; }
+  const RecoveryResult& last_recovery() const { return last_recovery_; }
+
+ private:
+  Clock* clock() const;
+  bool UsesColumnarBackup() const {
+    return config_.backup_format == BackupFormatKind::kColumnar &&
+           !config_.backup_dir.empty();
+  }
+  /// Installs the columnar backup's seal observer on `table`.
+  void InstallSealObserver(Table* table);
+  Status BackupBatch(const std::string& table, const std::vector<Row>& rows);
+  Status SyncBackups();
+
+  LeafServerConfig config_;
+  RestartManager restart_manager_;
+
+  mutable std::mutex mutex_;
+  LeafStateMachine leaf_state_;
+  std::unordered_map<std::string, TableStateMachine> table_states_;
+  LeafMap leaf_map_;
+  BackupWriter backup_writer_;              // row-major format
+  ColumnarBackupWriter columnar_writer_;    // columnar format (§6)
+  RecoveryResult last_recovery_;
+  bool inject_shutdown_kill_ = false;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_SERVER_LEAF_SERVER_H_

@@ -1,0 +1,159 @@
+#include "shm/leaf_metadata.h"
+
+#include <cstring>
+
+#include "util/byte_buffer.h"
+#include "util/crc32c.h"
+
+namespace scuba {
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x4D464C53;  // "SLFM"
+// Fixed-capacity segment: header + up to ~250 table segment names.
+constexpr size_t kMetaCapacity = 64 * 1024;
+
+// Layout within the segment:
+//   u32 magic, u16 layout version, u8 valid, u8 reserved,
+//   u32 payload crc (masked, over the name list bytes), u32 payload len,
+//   u64 num tables, then per table u16 len + bytes.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffValid = 6;
+constexpr size_t kOffCrc = 8;
+constexpr size_t kOffPayloadLen = 12;
+constexpr size_t kOffNumTables = 16;
+constexpr size_t kOffNames = 24;
+
+}  // namespace
+
+std::string LeafMetadata::SegmentNameForLeaf(
+    const std::string& namespace_prefix, uint32_t leaf_id) {
+  return "/" + namespace_prefix + "_leaf_" + std::to_string(leaf_id) +
+         "_meta";
+}
+
+StatusOr<LeafMetadata> LeafMetadata::Create(
+    const std::string& namespace_prefix, uint32_t leaf_id) {
+  SCUBA_ASSIGN_OR_RETURN(
+      ShmSegment segment,
+      ShmSegment::Create(SegmentNameForLeaf(namespace_prefix, leaf_id),
+                         kMetaCapacity));
+  LeafMetadata meta(std::move(segment));
+  meta.valid_ = false;
+  meta.layout_version_ = kShmLayoutVersion;
+  SCUBA_RETURN_IF_ERROR(meta.Flush());
+  return meta;
+}
+
+StatusOr<LeafMetadata> LeafMetadata::Open(const std::string& namespace_prefix,
+                                          uint32_t leaf_id) {
+  SCUBA_ASSIGN_OR_RETURN(
+      ShmSegment segment,
+      ShmSegment::Open(SegmentNameForLeaf(namespace_prefix, leaf_id)));
+  LeafMetadata meta(std::move(segment));
+  SCUBA_RETURN_IF_ERROR(meta.Parse());
+  return meta;
+}
+
+bool LeafMetadata::Exists(const std::string& namespace_prefix,
+                          uint32_t leaf_id) {
+  return ShmSegment::Exists(SegmentNameForLeaf(namespace_prefix, leaf_id));
+}
+
+Status LeafMetadata::Flush() {
+  ByteBuffer payload;
+  payload.AppendU64(table_segment_names_.size());
+  for (const std::string& name : table_segment_names_) {
+    if (name.size() > UINT16_MAX) {
+      return Status::InvalidArgument("segment name too long");
+    }
+    payload.AppendU16(static_cast<uint16_t>(name.size()));
+    payload.Append(name.data(), name.size());
+  }
+  if (kOffNumTables + payload.size() > segment_.size()) {
+    return Status::ResourceExhausted("leaf metadata segment full");
+  }
+
+  uint8_t* p = segment_.data();
+  ByteBuffer::EncodeU32(p + kOffMagic, kMetaMagic);
+  p[kOffVersion] = static_cast<uint8_t>(layout_version_);
+  p[kOffVersion + 1] = static_cast<uint8_t>(layout_version_ >> 8);
+  p[kOffValid] = valid_ ? 1 : 0;
+  p[kOffValid + 1] = 0;
+  // payload includes the num-tables u64 (written at kOffNumTables).
+  ByteBuffer::EncodeU32(p + kOffPayloadLen,
+                        static_cast<uint32_t>(payload.size()));
+  std::memcpy(p + kOffNumTables, payload.data(), payload.size());
+  uint32_t crc = crc32c::Value(p + kOffNumTables, payload.size());
+  ByteBuffer::EncodeU32(p + kOffCrc, crc32c::Mask(crc));
+  return Status::OK();
+}
+
+Status LeafMetadata::Parse() {
+  if (segment_.size() < kOffNames) {
+    return Status::Corruption("leaf metadata: segment too small");
+  }
+  const uint8_t* p = segment_.data();
+  if (ByteBuffer::DecodeU32(p + kOffMagic) != kMetaMagic) {
+    return Status::Corruption("leaf metadata: bad magic");
+  }
+  layout_version_ = static_cast<uint16_t>(
+      p[kOffVersion] | (static_cast<uint16_t>(p[kOffVersion + 1]) << 8));
+  valid_ = p[kOffValid] != 0;
+
+  uint32_t payload_len = ByteBuffer::DecodeU32(p + kOffPayloadLen);
+  if (kOffNumTables + payload_len > segment_.size() || payload_len < 8) {
+    return Status::Corruption("leaf metadata: bad payload length");
+  }
+  uint32_t stored_crc = crc32c::Unmask(ByteBuffer::DecodeU32(p + kOffCrc));
+  if (stored_crc != crc32c::Value(p + kOffNumTables, payload_len)) {
+    return Status::Corruption("leaf metadata: checksum mismatch");
+  }
+
+  uint64_t num_tables = ByteBuffer::DecodeU64(p + kOffNumTables);
+  Slice names(p + kOffNames, payload_len - 8);
+  table_segment_names_.clear();
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    if (names.size() < 2) {
+      return Status::Corruption("leaf metadata: truncated name list");
+    }
+    uint16_t len = static_cast<uint16_t>(
+        names[0] | (static_cast<uint16_t>(names[1]) << 8));
+    names.RemovePrefix(2);
+    if (names.size() < len) {
+      return Status::Corruption("leaf metadata: truncated name");
+    }
+    table_segment_names_.emplace_back(
+        reinterpret_cast<const char*>(names.data()), len);
+    names.RemovePrefix(len);
+  }
+  return Status::OK();
+}
+
+Status LeafMetadata::AddTableSegment(const std::string& segment_name) {
+  table_segment_names_.push_back(segment_name);
+  Status s = Flush();
+  if (!s.ok()) table_segment_names_.pop_back();
+  return s;
+}
+
+Status LeafMetadata::SetValid(bool valid) {
+  valid_ = valid;
+  segment_.data()[kOffValid] = valid ? 1 : 0;
+  return Status::OK();
+}
+
+Status LeafMetadata::Destroy() { return segment_.Unlink(); }
+
+Status LeafMetadata::DestroyAllSegments() {
+  Status first_error = Status::OK();
+  for (const std::string& name : table_segment_names_) {
+    Status s = ShmSegment::Remove(name);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  Status s = Destroy();
+  if (!s.ok() && first_error.ok()) first_error = s;
+  return first_error;
+}
+
+}  // namespace scuba

@@ -1,0 +1,87 @@
+#ifndef SCUBA_SHM_LEAF_METADATA_H_
+#define SCUBA_SHM_LEAF_METADATA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shm/shm_segment.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Current shared-memory layout version. Bumped whenever the segment
+/// formats change; a mismatch at restore time forces disk recovery
+/// ("the layout version number indicates whether the shared memory layout
+/// has changed; note that the heap memory layout can change independently
+/// of the shared memory layout", §4.2).
+inline constexpr uint16_t kShmLayoutVersion = 1;
+
+/// Per-leaf metadata stored at a fixed, hard-coded shared memory location
+/// (Fig 4): a valid bit, the layout version, and the names of the table
+/// segments the leaf allocated. "Each leaf has a unique hard coded location
+/// in shared memory for its metadata" (§4.2) — the location is the segment
+/// name derived from the leaf id.
+class LeafMetadata {
+ public:
+  /// The fixed segment name for leaf `leaf_id` under `namespace_prefix`
+  /// (prefix isolates clusters/tests; e.g. "scuba" ->
+  /// "/scuba_leaf_3_meta").
+  static std::string SegmentNameForLeaf(const std::string& namespace_prefix,
+                                        uint32_t leaf_id);
+
+  /// Creates the metadata segment with valid=false and no tables
+  /// (Fig 6 step 1). Fails if it already exists.
+  static StatusOr<LeafMetadata> Create(const std::string& namespace_prefix,
+                                       uint32_t leaf_id);
+
+  /// Opens and parses an existing metadata segment. Corruption/NotFound
+  /// sends the caller to disk recovery.
+  static StatusOr<LeafMetadata> Open(const std::string& namespace_prefix,
+                                     uint32_t leaf_id);
+
+  /// True if a metadata segment exists for this leaf.
+  static bool Exists(const std::string& namespace_prefix, uint32_t leaf_id);
+
+  LeafMetadata(LeafMetadata&&) noexcept = default;
+  LeafMetadata& operator=(LeafMetadata&&) noexcept = default;
+
+  bool valid() const { return valid_; }
+  uint16_t layout_version() const { return layout_version_; }
+  const std::vector<std::string>& table_segment_names() const {
+    return table_segment_names_;
+  }
+
+  /// Registers a table segment name (Fig 6 "add table segment to the leaf
+  /// metadata") and persists the list.
+  Status AddTableSegment(const std::string& segment_name);
+
+  /// Sets the valid bit, persisting immediately. Setting true is the final
+  /// shutdown step (Fig 6); setting false is the first restore step
+  /// (Fig 7), so an interrupted restore falls back to disk next time.
+  Status SetValid(bool valid);
+
+  /// Unlinks the metadata segment itself (final restore step).
+  Status Destroy();
+
+  /// Unlinks the metadata segment AND every table segment it references.
+  /// Used when the valid bit is false (Fig 7 "delete shared memory
+  /// segments") or when memory recovery is abandoned.
+  Status DestroyAllSegments();
+
+ private:
+  explicit LeafMetadata(ShmSegment segment) : segment_(std::move(segment)) {}
+
+  Status Flush();
+  Status Parse();
+
+  ShmSegment segment_;
+  bool valid_ = false;
+  uint16_t layout_version_ = kShmLayoutVersion;
+  std::vector<std::string> table_segment_names_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_SHM_LEAF_METADATA_H_

@@ -1,0 +1,84 @@
+#include "shm/shm_arena_allocator.h"
+
+#include <algorithm>
+
+#include "util/bit_util.h"
+
+namespace scuba {
+
+ShmArenaAllocator::ShmArenaAllocator(ShmSegment segment)
+    : segment_(std::move(segment)) {
+  free_ranges_.emplace(0, segment_.size());
+}
+
+StatusOr<ShmArenaAllocator> ShmArenaAllocator::Create(
+    const std::string& segment_name, size_t capacity) {
+  SCUBA_ASSIGN_OR_RETURN(ShmSegment segment,
+                         ShmSegment::Create(segment_name, capacity));
+  return ShmArenaAllocator(std::move(segment));
+}
+
+StatusOr<uint64_t> ShmArenaAllocator::Allocate(size_t size) {
+  if (size == 0) return Status::InvalidArgument("arena: zero-size alloc");
+  uint64_t need = bit_util::RoundUp(size, 8);
+
+  // First fit: the simplest policy, and the one that best exhibits the
+  // fragmentation behaviour the ablation measures.
+  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+    if (it->second >= need) {
+      uint64_t offset = it->first;
+      uint64_t remaining = it->second - need;
+      free_ranges_.erase(it);
+      if (remaining > 0) free_ranges_.emplace(offset + need, remaining);
+      allocated_bytes_ += need;
+      return offset;
+    }
+  }
+  return Status::ResourceExhausted(
+      "arena: no free range of " + std::to_string(need) + " bytes (" +
+      std::to_string(free_bytes()) + " free total, fragmented)");
+}
+
+Status ShmArenaAllocator::Free(uint64_t offset, size_t size) {
+  uint64_t len = bit_util::RoundUp(size, 8);
+  if (offset + len > capacity()) {
+    return Status::InvalidArgument("arena: free out of range");
+  }
+
+  auto [it, inserted] = free_ranges_.emplace(offset, len);
+  if (!inserted) return Status::InvalidArgument("arena: double free");
+
+  // Coalesce with successor.
+  auto next = std::next(it);
+  if (next != free_ranges_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_ranges_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_ranges_.erase(it);
+    }
+  }
+  allocated_bytes_ -= len;
+  return Status::OK();
+}
+
+uint64_t ShmArenaAllocator::largest_free_range() const {
+  uint64_t largest = 0;
+  for (const auto& [offset, len] : free_ranges_) {
+    largest = std::max(largest, len);
+  }
+  return largest;
+}
+
+double ShmArenaAllocator::FragmentationRatio() const {
+  uint64_t total_free = free_bytes();
+  if (total_free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_range()) /
+                   static_cast<double>(total_free);
+}
+
+}  // namespace scuba

@@ -1,0 +1,68 @@
+#ifndef SCUBA_SHM_SHM_ARENA_ALLOCATOR_H_
+#define SCUBA_SHM_SHM_ARENA_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "shm/shm_segment.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Ablation substrate for the paper's REJECTED design (method 1, §3):
+/// "allocate all data in shared memory all of the time. This alternative
+/// requires writing a custom allocator to subdivide shared memory
+/// segments... We worried that an allocator in shared memory would lead to
+/// increased fragmentation over time."
+///
+/// This is a deliberately straightforward first-fit allocator with
+/// coalescing over one fixed-size shared memory segment. Unlike jemalloc
+/// it cannot lazily back virtual pages, so every byte of arena is a byte
+/// of physical shared memory — the fragmentation it accumulates under
+/// churn (bench_shm_allocator) is the cost the paper chose to avoid.
+///
+/// Bookkeeping lives in process memory; a production version would also
+/// need crash-consistent metadata in shm plus thread safety — exactly the
+/// "significant complexity" the paper cites.
+class ShmArenaAllocator {
+ public:
+  static StatusOr<ShmArenaAllocator> Create(const std::string& segment_name,
+                                            size_t capacity);
+
+  ShmArenaAllocator(ShmArenaAllocator&&) noexcept = default;
+  ShmArenaAllocator& operator=(ShmArenaAllocator&&) noexcept = default;
+
+  /// Allocates `size` bytes (8-aligned); returns the segment offset.
+  /// Fails with ResourceExhausted when no free range fits — which can
+  /// happen even when total free space is sufficient (fragmentation).
+  StatusOr<uint64_t> Allocate(size_t size);
+
+  /// Frees a previously allocated range. Adjacent free ranges coalesce.
+  Status Free(uint64_t offset, size_t size);
+
+  uint8_t* data() { return segment_.data(); }
+  size_t capacity() const { return segment_.size(); }
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  uint64_t free_bytes() const { return capacity() - allocated_bytes_; }
+  size_t num_free_ranges() const { return free_ranges_.size(); }
+  uint64_t largest_free_range() const;
+
+  /// 0 = one contiguous free range; approaching 1 = free space shattered
+  /// into unusably small pieces.
+  double FragmentationRatio() const;
+
+  Status Unlink() { return segment_.Unlink(); }
+
+ private:
+  explicit ShmArenaAllocator(ShmSegment segment);
+
+  // offset -> size of each free range, ordered for coalescing.
+  std::map<uint64_t, uint64_t> free_ranges_;
+  ShmSegment segment_;
+  uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_SHM_SHM_ARENA_ALLOCATOR_H_

@@ -1,0 +1,212 @@
+#include "shm/shm_segment.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace scuba {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& name) {
+  return what + " '" + name + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<ShmSegment> ShmSegment::Create(const std::string& name, size_t size) {
+  if (name.empty() || name[0] != '/' ||
+      name.find('/', 1) != std::string::npos) {
+    return Status::InvalidArgument("shm name must be '/name': " + name);
+  }
+  if (size == 0) {
+    return Status::InvalidArgument("shm segment size must be > 0");
+  }
+  int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    if (errno == EEXIST) {
+      return Status::AlreadyExists("shm segment exists: " + name);
+    }
+    return Status::IOError(ErrnoMessage("shm_open", name));
+  }
+  if (ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    Status s = Status::IOError(ErrnoMessage("ftruncate", name));
+    close(fd);
+    shm_unlink(name.c_str());
+    return s;
+  }
+  void* addr = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (addr == MAP_FAILED) {
+    Status s = Status::IOError(ErrnoMessage("mmap", name));
+    close(fd);
+    shm_unlink(name.c_str());
+    return s;
+  }
+  return ShmSegment(name, fd, addr, size);
+}
+
+StatusOr<ShmSegment> ShmSegment::Open(const std::string& name) {
+  int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("shm segment not found: " + name);
+    }
+    return Status::IOError(ErrnoMessage("shm_open", name));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    Status s = Status::IOError(ErrnoMessage("fstat", name));
+    close(fd);
+    return s;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    close(fd);
+    return Status::Corruption("shm segment has zero size: " + name);
+  }
+  void* addr = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (addr == MAP_FAILED) {
+    Status s = Status::IOError(ErrnoMessage("mmap", name));
+    close(fd);
+    return s;
+  }
+  return ShmSegment(name, fd, addr, size);
+}
+
+Status ShmSegment::Remove(const std::string& name) {
+  if (shm_unlink(name.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("shm_unlink", name));
+  }
+  return Status::OK();
+}
+
+bool ShmSegment::Exists(const std::string& name) {
+  int fd = shm_open(name.c_str(), O_RDONLY, 0600);
+  if (fd < 0) return false;
+  close(fd);
+  return true;
+}
+
+std::vector<std::string> ShmSegment::List(const std::string& prefix) {
+  std::vector<std::string> names;
+  // POSIX shm objects live in /dev/shm on Linux.
+  DIR* dir = opendir("/dev/shm");
+  if (dir == nullptr) return names;
+  std::string bare_prefix =
+      prefix.empty() || prefix[0] != '/' ? prefix : prefix.substr(1);
+  while (struct dirent* entry = readdir(dir)) {
+    std::string entry_name(entry->d_name);
+    if (entry_name == "." || entry_name == "..") continue;
+    if (entry_name.rfind(bare_prefix, 0) == 0) {
+      names.push_back("/" + entry_name);
+    }
+  }
+  closedir(dir);
+  return names;
+}
+
+size_t ShmSegment::RemoveAll(const std::string& prefix) {
+  size_t removed = 0;
+  for (const std::string& name : List(prefix)) {
+    if (shm_unlink(name.c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : name_(std::move(other.name_)),
+      fd_(other.fd_),
+      addr_(other.addr_),
+      size_(other.size_) {
+  other.fd_ = -1;
+  other.addr_ = nullptr;
+  other.size_ = 0;
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    CloseNoUnlink();
+    name_ = std::move(other.name_);
+    fd_ = other.fd_;
+    addr_ = other.addr_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+ShmSegment::~ShmSegment() { CloseNoUnlink(); }
+
+void ShmSegment::CloseNoUnlink() {
+  if (addr_ != nullptr) {
+    munmap(addr_, size_);
+    addr_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+Status ShmSegment::Grow(size_t new_size) {
+  if (new_size <= size_) return Status::OK();
+  if (ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate (grow)", name_));
+  }
+  void* fresh = mremap(addr_, size_, new_size, MREMAP_MAYMOVE);
+  if (fresh == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("mremap (grow)", name_));
+  }
+  addr_ = fresh;
+  size_ = new_size;
+  return Status::OK();
+}
+
+Status ShmSegment::Truncate(size_t new_size) {
+  if (new_size >= size_) return Status::OK();
+  if (new_size == 0) new_size = 1;  // Keep a valid mapping.
+  void* fresh = mremap(addr_, size_, new_size, MREMAP_MAYMOVE);
+  if (fresh == MAP_FAILED) {
+    return Status::IOError(ErrnoMessage("mremap (truncate)", name_));
+  }
+  addr_ = fresh;
+  if (ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Status::IOError(ErrnoMessage("ftruncate (truncate)", name_));
+  }
+  size_ = new_size;
+  return Status::OK();
+}
+
+Status ShmSegment::Sync() {
+  if (msync(addr_, size_, MS_SYNC) != 0) {
+    return Status::IOError(ErrnoMessage("msync", name_));
+  }
+  return Status::OK();
+}
+
+Status ShmSegment::Unlink() {
+  std::string name = name_;
+  CloseNoUnlink();
+  return Remove(name);
+}
+
+uint64_t TotalShmBytes(const std::string& prefix) {
+  uint64_t total = 0;
+  for (const std::string& name : ShmSegment::List(prefix)) {
+    std::string path = "/dev/shm" + name;
+    struct stat st;
+    if (stat(path.c_str(), &st) == 0) {
+      total += static_cast<uint64_t>(st.st_size);
+    }
+  }
+  return total;
+}
+
+}  // namespace scuba

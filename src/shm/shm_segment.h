@@ -1,0 +1,90 @@
+#ifndef SCUBA_SHM_SHM_SEGMENT_H_
+#define SCUBA_SHM_SHM_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// RAII wrapper over one POSIX shared memory object (shm_open + mmap).
+///
+/// This is the primitive that decouples memory lifetime from process
+/// lifetime (§3): a segment created by one process survives its exit and
+/// can be opened by the successor. The destructor unmaps but does NOT
+/// unlink — persistence across processes is the point; call Remove()
+/// explicitly when the data has been consumed (Fig 7).
+///
+/// Segment names follow POSIX shm rules: a leading '/', no other slashes.
+class ShmSegment {
+ public:
+  /// Creates a new segment of `size` bytes (fails if it already exists).
+  static StatusOr<ShmSegment> Create(const std::string& name, size_t size);
+
+  /// Opens an existing segment read-write, mapping its current size.
+  static StatusOr<ShmSegment> Open(const std::string& name);
+
+  /// Unlinks a segment by name. OK if it does not exist.
+  static Status Remove(const std::string& name);
+
+  /// True if a segment with this name currently exists.
+  static bool Exists(const std::string& name);
+
+  /// Lists existing segment names (with leading '/') starting with
+  /// `prefix`. Used for crash cleanup and tests.
+  static std::vector<std::string> List(const std::string& prefix);
+
+  /// Unlinks every segment whose name starts with `prefix`; returns the
+  /// number removed.
+  static size_t RemoveAll(const std::string& prefix);
+
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ~ShmSegment();
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return size_; }
+  uint8_t* data() { return static_cast<uint8_t*>(addr_); }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(addr_); }
+  Slice AsSlice() const { return Slice(data(), size_); }
+
+  /// Grows the segment to `new_size` (ftruncate + remap). Shrinking is not
+  /// allowed here; use Truncate. No-op if new_size <= size().
+  Status Grow(size_t new_size);
+
+  /// Shrinks the segment to `new_size`, returning the freed pages to the
+  /// OS (restore truncates the segment as it drains it, Fig 7).
+  Status Truncate(size_t new_size);
+
+  /// Flushes mapped pages (msync). Shared memory on tmpfs does not need
+  /// this for cross-process visibility; exposed for completeness.
+  Status Sync();
+
+  /// Unmaps and unlinks this segment.
+  Status Unlink();
+
+ private:
+  ShmSegment(std::string name, int fd, void* addr, size_t size)
+      : name_(std::move(name)), fd_(fd), addr_(addr), size_(size) {}
+
+  void CloseNoUnlink();
+
+  std::string name_;
+  int fd_ = -1;
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Total bytes currently used by segments matching `prefix` (for footprint
+/// accounting in tests and benches).
+uint64_t TotalShmBytes(const std::string& prefix);
+
+}  // namespace scuba
+
+#endif  // SCUBA_SHM_SHM_SEGMENT_H_

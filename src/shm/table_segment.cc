@@ -1,0 +1,149 @@
+#include "shm/table_segment.h"
+
+#include <cstring>
+
+#include "util/bit_util.h"
+#include "util/byte_buffer.h"
+
+namespace scuba {
+namespace {
+
+constexpr uint32_t kTableMagic = 0x4C425453;  // "STBL"
+constexpr uint16_t kTableVersion = 1;
+
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+// 2 reserved bytes at offset 6.
+constexpr size_t kOffNumBlocks = 8;
+constexpr size_t kOffUsedBytes = 16;
+constexpr size_t kOffNameLen = 24;
+constexpr size_t kFixedHeaderSize = 32;
+
+size_t AlignUp8(size_t v) { return static_cast<size_t>(bit_util::RoundUp(v, 8)); }
+
+}  // namespace
+
+StatusOr<TableSegmentWriter> TableSegmentWriter::Create(
+    const std::string& segment_name, const std::string& table_name,
+    size_t size_estimate) {
+  size_t header_bytes = AlignUp8(kFixedHeaderSize + table_name.size());
+  size_t initial = std::max(size_estimate, header_bytes + 64);
+  SCUBA_ASSIGN_OR_RETURN(ShmSegment segment,
+                         ShmSegment::Create(segment_name, initial));
+
+  uint8_t* p = segment.data();
+  std::memset(p, 0, kFixedHeaderSize);
+  ByteBuffer::EncodeU32(p + kOffMagic, kTableMagic);
+  p[kOffVersion] = static_cast<uint8_t>(kTableVersion);
+  p[kOffVersion + 1] = static_cast<uint8_t>(kTableVersion >> 8);
+  ByteBuffer::EncodeU64(p + kOffNameLen, table_name.size());
+  std::memcpy(p + kFixedHeaderSize, table_name.data(), table_name.size());
+
+  return TableSegmentWriter(std::move(segment), header_bytes);
+}
+
+Status TableSegmentWriter::EnsureRoom(size_t bytes) {
+  if (cursor_ + bytes <= segment_.size()) return Status::OK();
+  // Grow geometrically to amortize remaps, but at least to what is needed
+  // (Fig 6 "grow the table segment in size if needed").
+  size_t target = std::max(cursor_ + bytes, segment_.size() +
+                                                segment_.size() / 4);
+  ++grow_count_;
+  return segment_.Grow(target);
+}
+
+Status TableSegmentWriter::AppendRowBlockMeta(const RowBlock& block) {
+  ByteBuffer meta;
+  block.SerializeMeta(&meta);
+  SCUBA_RETURN_IF_ERROR(EnsureRoom(4 + meta.size() + 8));
+  ByteBuffer::EncodeU32(segment_.data() + cursor_,
+                        static_cast<uint32_t>(meta.size()));
+  cursor_ += 4;
+  std::memcpy(segment_.data() + cursor_, meta.data(), meta.size());
+  cursor_ = AlignUp8(cursor_ + meta.size());
+  return Status::OK();
+}
+
+Status TableSegmentWriter::AppendColumnBuffer(Slice rbc_buffer) {
+  SCUBA_RETURN_IF_ERROR(EnsureRoom(rbc_buffer.size() + 8));
+  std::memcpy(segment_.data() + cursor_, rbc_buffer.data(),
+              rbc_buffer.size());
+  cursor_ = AlignUp8(cursor_ + rbc_buffer.size());
+  return Status::OK();
+}
+
+Status TableSegmentWriter::Finish(uint64_t num_row_blocks) {
+  ByteBuffer::EncodeU64(segment_.data() + kOffNumBlocks, num_row_blocks);
+  ByteBuffer::EncodeU64(segment_.data() + kOffUsedBytes, cursor_);
+  // Return any over-estimated pages to the OS.
+  return segment_.Truncate(cursor_);
+}
+
+StatusOr<TableSegmentReader> TableSegmentReader::Open(
+    const std::string& segment_name) {
+  SCUBA_ASSIGN_OR_RETURN(ShmSegment segment, ShmSegment::Open(segment_name));
+  TableSegmentReader reader(std::move(segment));
+  SCUBA_RETURN_IF_ERROR(reader.Parse());
+  return reader;
+}
+
+Status TableSegmentReader::Parse() {
+  if (segment_.size() < kFixedHeaderSize) {
+    return Status::Corruption("table segment: too small");
+  }
+  const uint8_t* p = segment_.data();
+  if (ByteBuffer::DecodeU32(p + kOffMagic) != kTableMagic) {
+    return Status::Corruption("table segment: bad magic");
+  }
+  uint16_t version = static_cast<uint16_t>(
+      p[kOffVersion] | (static_cast<uint16_t>(p[kOffVersion + 1]) << 8));
+  if (version != kTableVersion) {
+    return Status::Corruption("table segment: unsupported version");
+  }
+  uint64_t num_blocks = ByteBuffer::DecodeU64(p + kOffNumBlocks);
+  used_bytes_ = ByteBuffer::DecodeU64(p + kOffUsedBytes);
+  uint64_t name_len = ByteBuffer::DecodeU64(p + kOffNameLen);
+  if (used_bytes_ > segment_.size() ||
+      kFixedHeaderSize + name_len > used_bytes_) {
+    return Status::Corruption("table segment: inconsistent sizes");
+  }
+  table_name_.assign(reinterpret_cast<const char*>(p + kFixedHeaderSize),
+                     name_len);
+
+  size_t cursor = AlignUp8(kFixedHeaderSize + static_cast<size_t>(name_len));
+  blocks_.clear();
+  blocks_.reserve(num_blocks);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    BlockEntry entry;
+    entry.block_offset = cursor;
+    if (cursor + 4 > used_bytes_) {
+      return Status::Corruption("table segment: truncated block meta length");
+    }
+    uint32_t meta_len = ByteBuffer::DecodeU32(p + cursor);
+    cursor += 4;
+    if (cursor + meta_len > used_bytes_) {
+      return Status::Corruption("table segment: truncated block meta");
+    }
+    Slice meta_slice(p + cursor, meta_len);
+    SCUBA_ASSIGN_OR_RETURN(entry.meta, RowBlock::ParseMeta(&meta_slice));
+    cursor = AlignUp8(cursor + meta_len);
+
+    entry.columns.reserve(entry.meta.column_sizes.size());
+    for (uint64_t col_size : entry.meta.column_sizes) {
+      if (cursor + col_size > used_bytes_) {
+        return Status::Corruption("table segment: truncated column payload");
+      }
+      entry.columns.emplace_back(cursor, static_cast<size_t>(col_size));
+      cursor = AlignUp8(cursor + static_cast<size_t>(col_size));
+    }
+    blocks_.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Slice TableSegmentReader::ColumnSlice(size_t b, size_t c) const {
+  const auto& [offset, size] = blocks_[b].columns[c];
+  return Slice(segment_.data() + offset, size);
+}
+
+}  // namespace scuba

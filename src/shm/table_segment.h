@@ -1,0 +1,121 @@
+#ifndef SCUBA_SHM_TABLE_SEGMENT_H_
+#define SCUBA_SHM_TABLE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "columnar/row_block.h"
+#include "shm/shm_segment.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace scuba {
+
+/// Shared-memory layout of ONE table (Fig 4): "there is one segment per
+/// table" (§4.2). Unlike the heap layout, row blocks and row block columns
+/// are laid out contiguously — the full set and their sizes are known when
+/// the memory is written, so one level of indirection disappears:
+///
+///   [fixed header | table name]
+///   per row block: [meta: header + schema + column sizes][RBC buffers...]
+///
+/// Each RBC buffer is bit-identical to its heap form (offsets only), so
+/// writing it is a single memcpy and reading it back is a single memcpy.
+///
+/// The writer is streaming: shutdown appends one column at a time, growing
+/// the segment when needed (Fig 6), so the process never needs room for
+/// two copies of the data (§4.4).
+class TableSegmentWriter {
+ public:
+  /// Creates the segment with an initial size estimate (Fig 6 "estimate
+  /// size of table"). The estimate may be wrong in either direction:
+  /// too small grows, too large is truncated at Finish.
+  static StatusOr<TableSegmentWriter> Create(const std::string& segment_name,
+                                             const std::string& table_name,
+                                             size_t size_estimate);
+
+  TableSegmentWriter(TableSegmentWriter&&) noexcept = default;
+  TableSegmentWriter& operator=(TableSegmentWriter&&) noexcept = default;
+
+  /// Appends the row block's metadata (header + schema + column sizes).
+  /// Must be followed by exactly one AppendColumnBuffer per column.
+  Status AppendRowBlockMeta(const RowBlock& block);
+
+  /// Appends one RBC buffer — this is the paper's single-memcpy copy of a
+  /// row block column into shared memory.
+  Status AppendColumnBuffer(Slice rbc_buffer);
+
+  /// Patches the row block count and used size, shrinks the segment to its
+  /// used size, and closes it (the segment object persists in /dev/shm).
+  Status Finish(uint64_t num_row_blocks);
+
+  const std::string& segment_name() const { return segment_.name(); }
+  size_t used_bytes() const { return cursor_; }
+  /// How many times the initial size estimate proved too small.
+  uint64_t grow_count() const { return grow_count_; }
+
+ private:
+  TableSegmentWriter(ShmSegment segment, size_t cursor)
+      : segment_(std::move(segment)), cursor_(cursor) {}
+
+  Status EnsureRoom(size_t bytes);
+
+  ShmSegment segment_;
+  size_t cursor_;
+  uint64_t grow_count_ = 0;
+};
+
+/// Reader for a table segment written by TableSegmentWriter. Parses all
+/// row block metadata on open; column payloads are exposed as slices into
+/// the mapping so restore can memcpy them straight to fresh heap buffers.
+class TableSegmentReader {
+ public:
+  struct BlockEntry {
+    RowBlock::Meta meta;
+    /// Segment offset where this block's bytes begin (its meta record).
+    size_t block_offset;
+    /// (offset, size) of each column's RBC buffer within the segment.
+    std::vector<std::pair<size_t, size_t>> columns;
+  };
+
+  static StatusOr<TableSegmentReader> Open(const std::string& segment_name);
+
+  TableSegmentReader(TableSegmentReader&&) noexcept = default;
+  TableSegmentReader& operator=(TableSegmentReader&&) noexcept = default;
+
+  const std::string& table_name() const { return table_name_; }
+  size_t num_row_blocks() const { return blocks_.size(); }
+  const BlockEntry& block(size_t i) const { return blocks_[i]; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  size_t segment_bytes() const { return segment_.size(); }
+
+  /// The raw RBC bytes for column `c` of block `b` (points into the
+  /// mapping; invalidated by TruncateTo past its offset).
+  Slice ColumnSlice(size_t b, size_t c) const;
+
+  /// Shrinks the backing segment (restore drains blocks from the tail and
+  /// truncates as it goes, Fig 7 "truncate the table shared memory segment
+  /// if needed").
+  Status TruncateTo(size_t bytes) { return segment_.Truncate(bytes); }
+
+  /// Unmaps and unlinks the segment (Fig 7 "delete the table shared
+  /// memory segment").
+  Status Unlink() { return segment_.Unlink(); }
+
+ private:
+  explicit TableSegmentReader(ShmSegment segment)
+      : segment_(std::move(segment)) {}
+
+  Status Parse();
+
+  ShmSegment segment_;
+  std::string table_name_;
+  uint64_t used_bytes_ = 0;
+  std::vector<BlockEntry> blocks_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_SHM_TABLE_SEGMENT_H_

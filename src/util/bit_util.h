@@ -1,0 +1,25 @@
+#ifndef SCUBA_UTIL_BIT_UTIL_H_
+#define SCUBA_UTIL_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace scuba {
+namespace bit_util {
+
+/// Number of bits needed to represent `v` (0 -> 0 bits).
+inline int BitWidth(uint64_t v) {
+  return v == 0 ? 0 : 64 - std::countl_zero(v);
+}
+
+/// Rounds `v` up to the next multiple of `multiple` (power of two).
+inline uint64_t RoundUp(uint64_t v, uint64_t multiple) {
+  return (v + multiple - 1) & ~(multiple - 1);
+}
+
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace bit_util
+}  // namespace scuba
+
+#endif  // SCUBA_UTIL_BIT_UTIL_H_

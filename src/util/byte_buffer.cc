@@ -1,0 +1,21 @@
+#include "util/byte_buffer.h"
+
+#include <algorithm>
+
+namespace scuba {
+
+void ByteBuffer::Reserve(size_t n) {
+  if (n <= capacity_) return;
+  Grow(n);
+}
+
+void ByteBuffer::Grow(size_t min_capacity) {
+  size_t new_capacity = std::max<size_t>(64, capacity_);
+  while (new_capacity < min_capacity) new_capacity *= 2;
+  std::unique_ptr<uint8_t[]> fresh(new uint8_t[new_capacity]);
+  if (size_ > 0) std::memcpy(fresh.get(), data_.get(), size_);
+  data_ = std::move(fresh);
+  capacity_ = new_capacity;
+}
+
+}  // namespace scuba

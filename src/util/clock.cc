@@ -1,0 +1,41 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace scuba {
+
+int64_t RealClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealClock::SleepMicros(int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+RealClock* RealClock::Get() {
+  static RealClock* const clock = new RealClock();
+  return clock;
+}
+
+namespace {
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : start_micros_(SteadyNowMicros()) {}
+
+void Stopwatch::Restart() { start_micros_ = SteadyNowMicros(); }
+
+int64_t Stopwatch::ElapsedMicros() const {
+  return SteadyNowMicros() - start_micros_;
+}
+
+}  // namespace scuba

@@ -1,0 +1,70 @@
+#ifndef SCUBA_UTIL_CLOCK_H_
+#define SCUBA_UTIL_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace scuba {
+
+/// Time source abstraction so that servers, expiry, and the cluster
+/// simulator can run on either the real clock or a simulated one.
+/// All times are microseconds; NowUnixSeconds() is provided for row
+/// timestamps (Scuba's required "time" column is a unix timestamp).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since the epoch of this clock.
+  virtual int64_t NowMicros() const = 0;
+
+  /// Advances (simulated clocks) or sleeps (real clock) for `micros`.
+  virtual void SleepMicros(int64_t micros) = 0;
+
+  int64_t NowUnixSeconds() const { return NowMicros() / 1000000; }
+};
+
+/// Wall-clock implementation backed by std::chrono::system_clock.
+class RealClock : public Clock {
+ public:
+  int64_t NowMicros() const override;
+  void SleepMicros(int64_t micros) override;
+
+  /// Process-wide shared instance.
+  static RealClock* Get();
+};
+
+/// Deterministic clock for tests and the discrete-event simulator.
+/// SleepMicros advances time instantly.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_; }
+  void SleepMicros(int64_t micros) override { now_ += micros; }
+
+  void AdvanceMicros(int64_t micros) { now_ += micros; }
+  void SetMicros(int64_t micros) { now_ = micros; }
+
+ private:
+  int64_t now_;
+};
+
+/// Monotonic stopwatch over the real clock, for measuring bench phases.
+class Stopwatch {
+ public:
+  Stopwatch();
+  /// Resets the start point to now.
+  void Restart();
+  /// Microseconds elapsed since construction or last Restart().
+  int64_t ElapsedMicros() const;
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  int64_t start_micros_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_UTIL_CLOCK_H_

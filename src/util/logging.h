@@ -1,0 +1,76 @@
+#ifndef SCUBA_UTIL_LOGGING_H_
+#define SCUBA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace scuba {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace scuba
+
+#define SCUBA_LOG(level)                                                      \
+  (static_cast<int>(::scuba::LogLevel::k##level) <                            \
+   static_cast<int>(::scuba::GetLogLevel()))                                  \
+      ? void(0)                                                               \
+      : void(::scuba::internal_logging::LogMessage(                           \
+                 ::scuba::LogLevel::k##level, __FILE__, __LINE__)             \
+                 .stream())
+
+#define SCUBA_LOG_STREAM(level)                              \
+  ::scuba::internal_logging::LogMessage(                     \
+      ::scuba::LogLevel::k##level, __FILE__, __LINE__)       \
+      .stream()
+
+// Convenience macros: SCUBA_DEBUG/INFO/WARN/ERROR << "message";
+#define SCUBA_DEBUG                                                        \
+  if (static_cast<int>(::scuba::LogLevel::kDebug) >=                       \
+      static_cast<int>(::scuba::GetLogLevel()))                            \
+  SCUBA_LOG_STREAM(Debug)
+#define SCUBA_INFO                                                         \
+  if (static_cast<int>(::scuba::LogLevel::kInfo) >=                        \
+      static_cast<int>(::scuba::GetLogLevel()))                            \
+  SCUBA_LOG_STREAM(Info)
+#define SCUBA_WARN                                                         \
+  if (static_cast<int>(::scuba::LogLevel::kWarning) >=                     \
+      static_cast<int>(::scuba::GetLogLevel()))                            \
+  SCUBA_LOG_STREAM(Warning)
+#define SCUBA_ERROR                                                        \
+  if (static_cast<int>(::scuba::LogLevel::kError) >=                       \
+      static_cast<int>(::scuba::GetLogLevel()))                            \
+  SCUBA_LOG_STREAM(Error)
+
+#endif  // SCUBA_UTIL_LOGGING_H_

@@ -1,0 +1,68 @@
+#ifndef SCUBA_UTIL_RANDOM_H_
+#define SCUBA_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace scuba {
+
+/// Deterministic, fast xorshift128+ PRNG. Used everywhere randomness is
+/// needed so that workloads and simulations are reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to expand the seed into two non-zero lanes.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p in [0, 1].
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Zipfian-ish skew helper: picks in [0, n) with heavier weight on small
+  /// indices. Cheap approximation (squared uniform), good enough for
+  /// generating dictionary-friendly columns.
+  uint64_t Skewed(uint64_t n) {
+    double u = NextDouble();
+    return static_cast<uint64_t>(u * u * static_cast<double>(n));
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_UTIL_RANDOM_H_

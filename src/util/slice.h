@@ -1,0 +1,64 @@
+#ifndef SCUBA_UTIL_SLICE_H_
+#define SCUBA_UTIL_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace scuba {
+
+/// A non-owning view over a contiguous byte range (RocksDB-style).
+/// Unlike std::string_view it exposes the bytes as uint8_t and offers
+/// byte-oriented helpers used by the codecs and segment layouts.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  explicit Slice(std::string_view s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  explicit Slice(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first `n` bytes. Caller must ensure n <= size().
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns the sub-slice [offset, offset + len). Caller must ensure
+  /// offset + len <= size().
+  Slice Subslice(size_t offset, size_t len) const {
+    return Slice(data_ + offset, len);
+  }
+
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+}  // namespace scuba
+
+#endif  // SCUBA_UTIL_SLICE_H_

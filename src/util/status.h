@@ -1,0 +1,172 @@
+#ifndef SCUBA_UTIL_STATUS_H_
+#define SCUBA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace scuba {
+
+/// Error categories used across the library. Library code never throws;
+/// every fallible operation returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kResourceExhausted = 6,
+  kFailedPrecondition = 7,
+  kUnavailable = 8,
+  kInternal = 9,
+  kAborted = 10,
+};
+
+/// Returns a human-readable name for `code` (e.g. "Corruption").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A RocksDB/Abseil-style status: a code plus an optional message.
+/// The OK status carries no allocation and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK: an OK StatusOr must
+  /// carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace scuba
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define SCUBA_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::scuba::Status _scuba_status = (expr);           \
+    if (!_scuba_status.ok()) return _scuba_status;    \
+  } while (0)
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define SCUBA_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  SCUBA_ASSIGN_OR_RETURN_IMPL_(                       \
+      SCUBA_STATUS_CONCAT_(_scuba_statusor, __LINE__), lhs, rexpr)
+
+#define SCUBA_STATUS_CONCAT_INNER_(a, b) a##b
+#define SCUBA_STATUS_CONCAT_(a, b) SCUBA_STATUS_CONCAT_INNER_(a, b)
+#define SCUBA_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                 \
+  if (!statusor.ok()) return statusor.status();            \
+  lhs = std::move(statusor).value()
+
+#endif  // SCUBA_UTIL_STATUS_H_

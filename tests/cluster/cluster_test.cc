@@ -1,0 +1,192 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "ingest/row_generator.h"
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::ShmNamespace;
+using testing_util::TempDir;
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : ns_("cluster"), dir_("cluster") {}
+
+  ClusterConfig MakeConfig(size_t machines = 2, size_t leaves = 4) {
+    ClusterConfig config;
+    config.num_machines = machines;
+    config.leaves_per_machine = leaves;
+    config.namespace_prefix = ns_.prefix();
+    config.backup_root = dir_.path() + "/backups";
+    return config;
+  }
+
+  void FillCluster(Cluster* cluster, size_t rows = 4000) {
+    RowGenerator gen;
+    cluster->log().AppendBatch("requests", gen.NextBatch(rows));
+    cluster->AddTailer("requests", /*batch_rows=*/256);
+    auto pumped = cluster->PumpTailers(true);
+    ASSERT_TRUE(pumped.ok());
+    ASSERT_EQ(*pumped, rows);
+  }
+
+  Query CountQuery() {
+    Query q;
+    q.table = "requests";
+    q.aggregates = {Count()};
+    return q;
+  }
+
+  ShmNamespace ns_;
+  TempDir dir_;
+};
+
+TEST_F(ClusterTest, StartIngestQuery) {
+  Cluster cluster(MakeConfig());
+  ASSERT_TRUE(cluster.Start().ok());
+  EXPECT_EQ(cluster.num_leaves(), 8u);
+  FillCluster(&cluster);
+  EXPECT_EQ(cluster.TotalRowCount(), 4000u);
+
+  auto result = cluster.aggregator().Execute(CountQuery());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->IsPartial());
+  EXPECT_EQ(result->Finalize({Count()})[0].aggregates[0], 4000.0);
+  cluster.Cleanup();
+}
+
+TEST_F(ClusterTest, RealShmRolloverKeepsAllData) {
+  Cluster cluster(MakeConfig());
+  ASSERT_TRUE(cluster.Start().ok());
+  FillCluster(&cluster);
+
+  RealRolloverOptions options;
+  options.batch_fraction = 0.25;  // 2 leaves per batch at this scale
+  auto report = cluster.Rollover(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->leaves_rolled, 8u);
+  EXPECT_EQ(report->shm_recoveries, 8u);
+  EXPECT_EQ(report->disk_recoveries, 0u);
+  EXPECT_EQ(report->rows_after, report->rows_before);
+  EXPECT_GE(report->min_availability, 0.75 - 1e-9);
+
+  auto result = cluster.aggregator().Execute(CountQuery());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Finalize({Count()})[0].aggregates[0], 4000.0);
+  cluster.Cleanup();
+}
+
+TEST_F(ClusterTest, ForcedDiskRolloverAlsoKeepsData) {
+  Cluster cluster(MakeConfig(1, 4));
+  ASSERT_TRUE(cluster.Start().ok());
+  FillCluster(&cluster, 2000);
+
+  RealRolloverOptions options;
+  options.batch_fraction = 0.25;
+  options.use_shared_memory = false;
+  auto report = cluster.Rollover(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->disk_recoveries, 4u);
+  EXPECT_EQ(report->shm_recoveries, 0u);
+  EXPECT_EQ(cluster.TotalRowCount(), 2000u);
+  cluster.Cleanup();
+}
+
+TEST_F(ClusterTest, IngestContinuesDuringRollover) {
+  Cluster cluster(MakeConfig());
+  ASSERT_TRUE(cluster.Start().ok());
+  FillCluster(&cluster, 2000);
+
+  // More rows land in the log; tailers pump between rollover batches.
+  RowGenerator gen;
+  cluster.log().AppendBatch("requests", gen.NextBatch(1000));
+
+  RealRolloverOptions options;
+  options.batch_fraction = 0.25;
+  options.pump_tailers_between_batches = true;
+  auto report = cluster.Rollover(options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(cluster.PumpTailers(true).ok());
+  EXPECT_EQ(cluster.TotalRowCount(), 3000u);
+  cluster.Cleanup();
+}
+
+TEST_F(ClusterTest, WholeClusterHandoffAcrossClusterObjects) {
+  ClusterConfig config = MakeConfig();
+  {
+    Cluster cluster(config);
+    ASSERT_TRUE(cluster.Start().ok());
+    FillCluster(&cluster);
+    ASSERT_TRUE(cluster.ShutdownAllToSharedMemory().ok());
+  }
+  // "New deployment": a brand-new cluster object over the same namespace.
+  Cluster fresh(config);
+  ASSERT_TRUE(fresh.Start().ok());
+  EXPECT_EQ(fresh.TotalRowCount(), 4000u);
+  auto result = fresh.aggregator().Execute(CountQuery());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Finalize({Count()})[0].aggregates[0], 4000.0);
+  fresh.Cleanup();
+}
+
+TEST_F(ClusterTest, RolloverSurvivesWatchdogKills) {
+  // Every shutdown is "killed" by the watchdog (§4.3): the rollover must
+  // still complete, with every leaf disk-recovered and zero row loss.
+  Cluster cluster(MakeConfig(2, 4));
+  ASSERT_TRUE(cluster.Start().ok());
+  FillCluster(&cluster, 2000);
+
+  RealRolloverOptions options;
+  options.batch_fraction = 0.25;
+  options.inject_shutdown_kill_rate = 1.0;
+  auto report = cluster.Rollover(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->watchdog_kills, 8u);
+  EXPECT_EQ(report->shm_recoveries, 0u);
+  // A leaf that happened to hold no rows recovers "fresh"; all others
+  // must take the disk path.
+  EXPECT_EQ(report->disk_recoveries + report->fresh_recoveries, 8u);
+  EXPECT_GE(report->disk_recoveries, 7u);
+  EXPECT_EQ(cluster.TotalRowCount(), 2000u);
+  cluster.Cleanup();
+}
+
+TEST_F(ClusterTest, PartialWatchdogKillsMixRecoveryPaths) {
+  Cluster cluster(MakeConfig(2, 4));
+  ASSERT_TRUE(cluster.Start().ok());
+  FillCluster(&cluster, 2000);
+
+  RealRolloverOptions options;
+  options.batch_fraction = 0.25;
+  options.inject_shutdown_kill_rate = 0.5;
+  auto report = cluster.Rollover(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_LE(report->disk_recoveries, report->watchdog_kills);
+  EXPECT_EQ(report->shm_recoveries + report->disk_recoveries +
+                report->fresh_recoveries,
+            8u);
+  EXPECT_GT(report->shm_recoveries, 0u);
+  EXPECT_GT(report->disk_recoveries, 0u);
+  EXPECT_EQ(cluster.TotalRowCount(), 2000u);
+  cluster.Cleanup();
+}
+
+TEST_F(ClusterTest, TimelineShowsProgress) {
+  Cluster cluster(MakeConfig(1, 4));
+  ASSERT_TRUE(cluster.Start().ok());
+  FillCluster(&cluster, 1000);
+  RealRolloverOptions options;
+  options.batch_fraction = 0.25;
+  auto report = cluster.Rollover(options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->timeline.size(), 3u);
+  EXPECT_NEAR(report->timeline.front().fraction_old, 1.0, 1e-9);
+  EXPECT_NEAR(report->timeline.back().fraction_new, 1.0, 1e-9);
+  cluster.Cleanup();
+}
+
+}  // namespace
+}  // namespace scuba

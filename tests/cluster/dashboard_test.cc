@@ -1,0 +1,81 @@
+#include "cluster/dashboard.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+DashboardSample Sample(double t, double old_f, double roll_f, double new_f) {
+  DashboardSample s;
+  s.time_seconds = t;
+  s.fraction_old = old_f;
+  s.fraction_restarting = roll_f;
+  s.fraction_new = new_f;
+  return s;
+}
+
+size_t CountChar(const std::string& s, char c) {
+  size_t n = 0;
+  for (char x : s) {
+    if (x == c) ++n;
+  }
+  return n;
+}
+
+TEST(DashboardTest, BarProportionsMatchFractions) {
+  std::string line =
+      Dashboard::RenderSample(Sample(0, 0.5, 0.25, 0.25), /*bar_width=*/48);
+  // The labels also contain 'o'/'n'; count inside the brackets only.
+  size_t open = line.find('[');
+  size_t close = line.find(']');
+  ASSERT_NE(open, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  std::string bar = line.substr(open + 1, close - open - 1);
+  ASSERT_EQ(bar.size(), 48u);
+  EXPECT_EQ(CountChar(bar, 'o'), 24u);
+  EXPECT_EQ(CountChar(bar, '#'), 12u);
+  EXPECT_EQ(CountChar(bar, 'n'), 12u);
+}
+
+TEST(DashboardTest, AllOldAndAllNewBars) {
+  std::string all_old = Dashboard::RenderSample(Sample(0, 1, 0, 0), 10);
+  size_t open = all_old.find('[');
+  EXPECT_EQ(all_old.substr(open + 1, 10), "oooooooooo");
+
+  std::string all_new = Dashboard::RenderSample(Sample(0, 0, 0, 1), 10);
+  open = all_new.find('[');
+  EXPECT_EQ(all_new.substr(open + 1, 10), "nnnnnnnnnn");
+}
+
+TEST(DashboardTest, PercentagesAppear) {
+  std::string line = Dashboard::RenderSample(Sample(120, 0.98, 0.02, 0.0));
+  EXPECT_NE(line.find("98.0%"), std::string::npos);
+  EXPECT_NE(line.find("2.0%"), std::string::npos);
+  EXPECT_NE(line.find("t="), std::string::npos);
+}
+
+TEST(DashboardTest, RenderSubsamplesLongTimelines) {
+  std::vector<DashboardSample> timeline;
+  for (int i = 0; i < 200; ++i) {
+    timeline.push_back(Sample(i, 1.0 - i / 200.0, 0.0, i / 200.0));
+  }
+  std::string out = Dashboard::Render(timeline, /*max_rows=*/10);
+  size_t lines = CountChar(out, '\n');
+  EXPECT_LE(lines, 12u);  // max_rows plus possibly the final sample
+  EXPECT_GE(lines, 8u);
+}
+
+TEST(DashboardTest, EmptyTimelineRendersEmpty) {
+  EXPECT_TRUE(Dashboard::Render({}).empty());
+}
+
+TEST(DashboardTest, ShortTimelineRendersEveryRow) {
+  std::vector<DashboardSample> timeline = {Sample(0, 1, 0, 0),
+                                           Sample(10, 0.5, 0.1, 0.4),
+                                           Sample(20, 0, 0, 1)};
+  std::string out = Dashboard::Render(timeline, 16);
+  EXPECT_EQ(CountChar(out, '\n'), 3u);
+}
+
+}  // namespace
+}  // namespace scuba

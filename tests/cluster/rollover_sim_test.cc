@@ -1,0 +1,156 @@
+#include "cluster/rollover_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+RolloverSimConfig PaperScaleConfig(RecoveryPath path) {
+  RolloverSimConfig config;
+  config.num_machines = 100;
+  config.leaves_per_machine = 8;
+  config.bytes_per_leaf = 15ull << 30;
+  config.batch_fraction = 0.02;
+  config.path = path;
+  return config;
+}
+
+TEST(RolloverSimTest, ShmRolloverUnderAnHourAtPaperScale) {
+  RolloverReport report =
+      SimulateRollover(PaperScaleConfig(RecoveryPath::kSharedMemory));
+  // Paper: "The entire cluster upgrade time is now under an hour" (§1)
+  // including ~40 min of deployment overhead (§6).
+  EXPECT_LT(report.total_seconds, 3600.0 * 1.5);
+  EXPECT_GT(report.total_seconds, 600.0);  // not absurdly fast either
+}
+
+TEST(RolloverSimTest, DiskRolloverTakesHalfADayAtPaperScale) {
+  RolloverReport report =
+      SimulateRollover(PaperScaleConfig(RecoveryPath::kDisk));
+  // Paper: "about 12 hours to restart the entire Scuba cluster" (§1).
+  EXPECT_GT(report.total_seconds, 8.0 * 3600);
+  EXPECT_LT(report.total_seconds, 20.0 * 3600);
+}
+
+TEST(RolloverSimTest, ShmBeatsDiskByAtLeastEightX) {
+  double shm = SimulateRollover(PaperScaleConfig(RecoveryPath::kSharedMemory))
+                   .total_seconds;
+  double disk =
+      SimulateRollover(PaperScaleConfig(RecoveryPath::kDisk)).total_seconds;
+  EXPECT_GT(disk / shm, 8.0);
+}
+
+TEST(RolloverSimTest, AvailabilityNeverBelowBatchFraction) {
+  RolloverReport report =
+      SimulateRollover(PaperScaleConfig(RecoveryPath::kSharedMemory));
+  // 2% batches -> at least 98% of data online at all times (§4.5, Fig 8).
+  EXPECT_GE(report.min_data_availability, 0.98 - 1e-9);
+  EXPECT_GE(report.mean_data_availability, 0.98);
+  EXPECT_LE(report.mean_data_availability, 1.0);
+}
+
+TEST(RolloverSimTest, WeeklyFullAvailabilityMatchesPaper) {
+  constexpr double kWeek = 7 * 24 * 3600.0;
+  double shm_frac =
+      SimulateRollover(PaperScaleConfig(RecoveryPath::kSharedMemory))
+          .FullAvailabilityFraction(kWeek);
+  double disk_frac = SimulateRollover(PaperScaleConfig(RecoveryPath::kDisk))
+                         .FullAvailabilityFraction(kWeek);
+  // Paper §1: 93% (12h rollover) vs 99.5% (under-an-hour rollover).
+  EXPECT_NEAR(disk_frac, 0.93, 0.03);
+  EXPECT_GT(shm_frac, 0.99);
+}
+
+TEST(RolloverSimTest, TimelineIsConsistent) {
+  RolloverReport report =
+      SimulateRollover(PaperScaleConfig(RecoveryPath::kSharedMemory));
+  ASSERT_FALSE(report.timeline.empty());
+  double prev_time = -1;
+  for (const DashboardSample& s : report.timeline) {
+    EXPECT_GE(s.time_seconds, prev_time);
+    prev_time = s.time_seconds;
+    EXPECT_NEAR(s.fraction_old + s.fraction_restarting + s.fraction_new, 1.0,
+                1e-9);
+    EXPECT_GE(s.fraction_old, -1e-9);
+    EXPECT_GE(s.fraction_new, -1e-9);
+  }
+  // Starts all-old, ends all-new.
+  EXPECT_NEAR(report.timeline.front().fraction_old, 1.0, 1e-9);
+  EXPECT_NEAR(report.timeline.back().fraction_new, 1.0, 1e-9);
+}
+
+TEST(RolloverSimTest, BatchCountMatchesFraction) {
+  RolloverSimConfig config = PaperScaleConfig(RecoveryPath::kSharedMemory);
+  RolloverReport report = SimulateRollover(config);
+  // 800 leaves at 2% = 16 per batch = 50 batches.
+  EXPECT_EQ(report.num_batches, 50u);
+}
+
+TEST(RolloverSimTest, WatchdogKillsForceDiskFallbacks) {
+  RolloverSimConfig config = PaperScaleConfig(RecoveryPath::kSharedMemory);
+  config.shutdown_kill_probability = 0.05;
+  RolloverReport report = SimulateRollover(config);
+  EXPECT_GT(report.disk_fallbacks, 10u);
+  // Fallbacks make the rollover slower than the clean case.
+  RolloverSimConfig clean = PaperScaleConfig(RecoveryPath::kSharedMemory);
+  EXPECT_GT(report.total_seconds,
+            SimulateRollover(clean).total_seconds);
+}
+
+TEST(RolloverSimTest, DeterministicForSeed) {
+  RolloverSimConfig config = PaperScaleConfig(RecoveryPath::kSharedMemory);
+  config.shutdown_kill_probability = 0.1;
+  RolloverReport a = SimulateRollover(config);
+  RolloverReport b = SimulateRollover(config);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.disk_fallbacks, b.disk_fallbacks);
+}
+
+TEST(RolloverSimTest, EmptyClusterIsTrivial) {
+  RolloverSimConfig config;
+  config.num_machines = 0;
+  RolloverReport report = SimulateRollover(config);
+  EXPECT_EQ(report.total_seconds, 0.0);
+}
+
+// E6: spreading restarts across machines beats stacking them on one
+// machine, because per-machine bandwidth is the bottleneck (§2, §6).
+TEST(ParallelRestartTest, PerMachineBandwidthIsTheBottleneck) {
+  RolloverSimConfig config = PaperScaleConfig(RecoveryPath::kSharedMemory);
+  double one_at_a_time = SimulateFullClusterRestartSeconds(config, 1);
+  double all_eight = SimulateFullClusterRestartSeconds(config, 8);
+  // Copy time is bandwidth-bound either way, but the fixed per-leaf
+  // overhead amortizes when concurrent; with contention modeled, running
+  // 8-wide on one machine is NOT 8x faster:
+  EXPECT_LT(all_eight, one_at_a_time);           // some amortization...
+  EXPECT_GT(all_eight, one_at_a_time / 8.0);     // ...but nowhere near 8x.
+}
+
+TEST(ParallelRestartTest, DiskPathScalesTheSameWay) {
+  RolloverSimConfig config = PaperScaleConfig(RecoveryPath::kDisk);
+  double serial = SimulateFullClusterRestartSeconds(config, 1);
+  double packed = SimulateFullClusterRestartSeconds(config, 8);
+  EXPECT_GT(packed, serial / 8.0 * 6.0);  // bandwidth sharing dominates
+}
+
+TEST(ParallelRestartTest, NLeavesPerMachineEnablesNParallelism) {
+  // The paper's §6 point: with N leaves per machine, a rollover batch can
+  // touch N times as many machines' worth of leaves while each machine
+  // loses only 1/N of its data. Compare availability between 1 and 8
+  // leaves/machine at the same per-machine data.
+  RolloverSimConfig one_leaf = PaperScaleConfig(RecoveryPath::kSharedMemory);
+  one_leaf.leaves_per_machine = 1;
+  one_leaf.bytes_per_leaf = 120ull << 30;
+  RolloverReport one = SimulateRollover(one_leaf);
+
+  RolloverSimConfig eight = PaperScaleConfig(RecoveryPath::kSharedMemory);
+  RolloverReport eight_report = SimulateRollover(eight);
+
+  // With 1 leaf/machine and 2% batches, each restarting leaf takes a full
+  // machine's data offline; min availability is the same 98%, but each
+  // batch moves 8x more bytes per leaf, so the rollover takes longer.
+  EXPECT_GT(one.total_seconds, eight_report.total_seconds);
+}
+
+}  // namespace
+}  // namespace scuba

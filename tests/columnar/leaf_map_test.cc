@@ -1,0 +1,92 @@
+#include "columnar/leaf_map.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+
+TEST(LeafMapTest, CreateAndGet) {
+  LeafMap map;
+  auto table = map.CreateTable("events");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->name(), "events");
+  EXPECT_EQ(map.GetTable("events"), *table);
+  EXPECT_EQ(map.GetTable("other"), nullptr);
+  EXPECT_EQ(map.num_tables(), 1u);
+}
+
+TEST(LeafMapTest, DuplicateCreateFails) {
+  LeafMap map;
+  ASSERT_TRUE(map.CreateTable("events").ok());
+  EXPECT_TRUE(map.CreateTable("events").status().IsAlreadyExists());
+}
+
+TEST(LeafMapTest, GetOrCreate) {
+  LeafMap map;
+  Table* a = map.GetOrCreateTable("events");
+  Table* b = map.GetOrCreateTable("events");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(map.num_tables(), 1u);
+}
+
+TEST(LeafMapTest, DropTable) {
+  LeafMap map;
+  ASSERT_TRUE(map.CreateTable("events").ok());
+  EXPECT_TRUE(map.DropTable("events").ok());
+  EXPECT_TRUE(map.DropTable("events").IsNotFound());
+  EXPECT_EQ(map.num_tables(), 0u);
+}
+
+TEST(LeafMapTest, NamesPreserveCreationOrder) {
+  LeafMap map;
+  ASSERT_TRUE(map.CreateTable("zeta").ok());
+  ASSERT_TRUE(map.CreateTable("alpha").ok());
+  ASSERT_TRUE(map.CreateTable("mid").ok());
+  EXPECT_EQ(map.TableNames(),
+            (std::vector<std::string>{"zeta", "alpha", "mid"}));
+}
+
+TEST(LeafMapTest, TotalsAggregateAcrossTables) {
+  LeafMap map;
+  Table* a = map.GetOrCreateTable("a");
+  Table* b = map.GetOrCreateTable("b");
+  ASSERT_TRUE(a->AddRows(MakeRows(30), 0).ok());
+  ASSERT_TRUE(b->AddRows(MakeRows(70), 0).ok());
+  EXPECT_EQ(map.TotalRowCount(), 100u);
+  EXPECT_GT(map.TotalMemoryBytes(), 0u);
+}
+
+TEST(LeafMapTest, ReleaseAndAdopt) {
+  LeafMap map;
+  Table* a = map.GetOrCreateTable("a");
+  ASSERT_TRUE(a->AddRows(MakeRows(5), 0).ok());
+  auto released = map.ReleaseTable("a");
+  ASSERT_NE(released, nullptr);
+  EXPECT_EQ(map.num_tables(), 0u);
+  ASSERT_TRUE(map.AdoptTable(std::move(released)).ok());
+  EXPECT_EQ(map.TotalRowCount(), 5u);
+  EXPECT_EQ(map.ReleaseTable("missing"), nullptr);
+}
+
+TEST(LeafMapTest, AdoptRejectsDuplicateAndNull) {
+  LeafMap map;
+  ASSERT_TRUE(map.CreateTable("a").ok());
+  EXPECT_TRUE(
+      map.AdoptTable(std::make_unique<Table>("a")).IsAlreadyExists());
+  EXPECT_TRUE(map.AdoptTable(nullptr).IsInvalidArgument());
+}
+
+TEST(LeafMapTest, ClearDropsEverything) {
+  LeafMap map;
+  map.GetOrCreateTable("a");
+  map.GetOrCreateTable("b");
+  map.Clear();
+  EXPECT_EQ(map.num_tables(), 0u);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,102 @@
+#include "columnar/table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+
+TEST(TableTest, AddRowsBuffersUntilSealed) {
+  Table table("events");
+  ASSERT_TRUE(table.AddRows(MakeRows(100), 5000).ok());
+  EXPECT_EQ(table.RowCount(), 100u);
+  EXPECT_EQ(table.num_row_blocks(), 0u);  // all buffered
+  ASSERT_TRUE(table.SealWriteBuffer(5000).ok());
+  EXPECT_EQ(table.num_row_blocks(), 1u);
+  EXPECT_EQ(table.RowCount(), 100u);
+}
+
+TEST(TableTest, SealEmptyBufferIsNoOp) {
+  Table table("events");
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  EXPECT_EQ(table.num_row_blocks(), 0u);
+}
+
+TEST(TableTest, BlocksInTimeRangePrunes) {
+  Table table("events");
+  ASSERT_TRUE(table.AddRows(MakeRows(50, /*start_time=*/1000), 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  ASSERT_TRUE(table.AddRows(MakeRows(50, /*start_time=*/2000), 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  ASSERT_TRUE(table.AddRows(MakeRows(50, /*start_time=*/3000), 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+
+  EXPECT_EQ(table.BlocksInTimeRange(0, 500).size(), 0u);
+  EXPECT_EQ(table.BlocksInTimeRange(1000, 1004).size(), 1u);
+  EXPECT_EQ(table.BlocksInTimeRange(1000, 2004).size(), 2u);
+  EXPECT_EQ(table.BlocksInTimeRange(0, 100000).size(), 3u);
+}
+
+TEST(TableTest, ExpireByAgeDropsOldBlocks) {
+  TableLimits limits;
+  limits.max_age_seconds = 100;
+  Table table("events", limits);
+  ASSERT_TRUE(table.AddRows(MakeRows(50, /*start_time=*/1000), 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  ASSERT_TRUE(table.AddRows(MakeRows(50, /*start_time=*/5000), 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+
+  // now=5050: cutoff 4950 -> first block (max_time ~1004) expires.
+  EXPECT_EQ(table.ExpireData(5050), 1u);
+  EXPECT_EQ(table.num_row_blocks(), 1u);
+  // Nothing more to expire.
+  EXPECT_EQ(table.ExpireData(5050), 0u);
+}
+
+TEST(TableTest, ExpireBySizeDropsOldestFirst) {
+  TableLimits limits;
+  limits.max_bytes = 1;  // absurdly small: everything but the last goes
+  Table table("events", limits);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(table.AddRows(MakeRows(50, 1000 * (i + 1)), 0).ok());
+    ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  }
+  EXPECT_EQ(table.ExpireData(99999), 2u);
+  ASSERT_EQ(table.num_row_blocks(), 1u);
+  // The newest block survives.
+  EXPECT_GE(table.row_block(0)->header().min_time, 3000 - 2);
+}
+
+TEST(TableTest, NoLimitsNeverExpires) {
+  Table table("events");
+  ASSERT_TRUE(table.AddRows(MakeRows(50), 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  EXPECT_EQ(table.ExpireData(1ll << 40), 0u);
+}
+
+TEST(TableTest, MemoryBytesTracksBlocksAndBuffer) {
+  Table table("events");
+  EXPECT_EQ(table.MemoryBytes(), 0u);
+  ASSERT_TRUE(table.AddRows(MakeRows(100), 0).ok());
+  uint64_t buffered = table.MemoryBytes();
+  EXPECT_GT(buffered, 0u);
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  EXPECT_GT(table.MemoryBytes(), 0u);
+}
+
+TEST(TableTest, ReleaseAndAdoptRowBlock) {
+  Table table("events");
+  ASSERT_TRUE(table.AddRows(MakeRows(10), 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  auto block = table.ReleaseRowBlock(0);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(table.RowCount(), 0u);
+  table.AdoptRowBlock(std::move(block));
+  EXPECT_EQ(table.RowCount(), 10u);
+}
+
+}  // namespace
+}  // namespace scuba

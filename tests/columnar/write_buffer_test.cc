@@ -1,0 +1,138 @@
+#include "columnar/write_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace scuba {
+namespace {
+
+Row MakeRow(int64_t time, const std::string& service, int64_t status) {
+  Row row;
+  row.SetTime(time);
+  row.Set("service", service);
+  row.Set("status", status);
+  return row;
+}
+
+TEST(WriteBufferTest, StartsEmpty) {
+  WriteBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_FALSE(buffer.Full());
+  EXPECT_TRUE(buffer.Seal(0).status().IsFailedPrecondition());
+}
+
+TEST(WriteBufferTest, RejectsRowWithoutTime) {
+  WriteBuffer buffer;
+  Row row;
+  row.Set("service", std::string("web"));
+  EXPECT_TRUE(buffer.AddRow(row).IsInvalidArgument());
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(WriteBufferTest, RejectsNonIntTime) {
+  WriteBuffer buffer;
+  Row row;
+  row.Set("time", std::string("yesterday"));
+  EXPECT_TRUE(buffer.AddRow(row).IsInvalidArgument());
+}
+
+TEST(WriteBufferTest, TracksTimeBounds) {
+  WriteBuffer buffer;
+  ASSERT_TRUE(buffer.AddRow(MakeRow(50, "a", 200)).ok());
+  ASSERT_TRUE(buffer.AddRow(MakeRow(10, "b", 200)).ok());
+  ASSERT_TRUE(buffer.AddRow(MakeRow(99, "c", 200)).ok());
+  EXPECT_EQ(buffer.min_time(), 10);
+  EXPECT_EQ(buffer.max_time(), 99);
+  EXPECT_EQ(buffer.row_count(), 3u);
+}
+
+TEST(WriteBufferTest, SealsToRowBlockPreservingValues) {
+  WriteBuffer buffer;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(buffer.AddRow(MakeRow(100 + i, "svc", 200 + i)).ok());
+  }
+  auto block = buffer.Seal(12345);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ((*block)->header().row_count, 10u);
+  EXPECT_EQ((*block)->header().creation_timestamp, 12345);
+
+  std::vector<int64_t> statuses;
+  ASSERT_TRUE((*block)->ColumnByName("status")->DecodeInt64(&statuses).ok());
+  ASSERT_EQ(statuses.size(), 10u);
+  EXPECT_EQ(statuses[0], 200);
+  EXPECT_EQ(statuses[9], 209);
+}
+
+TEST(WriteBufferTest, DensifiesSparseRows) {
+  WriteBuffer buffer;
+  ASSERT_TRUE(buffer.AddRow(MakeRow(1, "a", 200)).ok());
+  // New column appears on row 2: rows before it get defaults.
+  Row with_extra = MakeRow(2, "b", 500);
+  with_extra.Set("error_msg", std::string("boom"));
+  ASSERT_TRUE(buffer.AddRow(with_extra).ok());
+  // Row 3 omits error_msg AND status: both densify.
+  Row sparse;
+  sparse.SetTime(3);
+  ASSERT_TRUE(buffer.AddRow(sparse).ok());
+
+  auto block = buffer.Seal(0);
+  ASSERT_TRUE(block.ok());
+  std::vector<std::string> errors;
+  ASSERT_TRUE(
+      (*block)->ColumnByName("error_msg")->DecodeString(&errors).ok());
+  EXPECT_EQ(errors, (std::vector<std::string>{"", "boom", ""}));
+  std::vector<int64_t> statuses;
+  ASSERT_TRUE((*block)->ColumnByName("status")->DecodeInt64(&statuses).ok());
+  EXPECT_EQ(statuses, (std::vector<int64_t>{200, 500, 0}));
+  std::vector<std::string> services;
+  ASSERT_TRUE(
+      (*block)->ColumnByName("service")->DecodeString(&services).ok());
+  EXPECT_EQ(services, (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(WriteBufferTest, TypeConflictRejectsRowAtomically) {
+  WriteBuffer buffer;
+  ASSERT_TRUE(buffer.AddRow(MakeRow(1, "a", 200)).ok());
+  Row bad;
+  bad.SetTime(2);
+  bad.Set("status", std::string("five hundred"));  // was int64
+  EXPECT_TRUE(buffer.AddRow(bad).IsInvalidArgument());
+  EXPECT_EQ(buffer.row_count(), 1u);  // buffer unchanged
+}
+
+TEST(WriteBufferTest, FullAtRowCap) {
+  WriteBuffer buffer;
+  Row row = MakeRow(1, "x", 1);
+  for (size_t i = 0; i < kMaxRowsPerBlock; ++i) {
+    ASSERT_TRUE(buffer.AddRow(row).ok());
+  }
+  EXPECT_TRUE(buffer.Full());
+}
+
+TEST(WriteBufferTest, MaterializeColumn) {
+  WriteBuffer buffer;
+  ASSERT_TRUE(buffer.AddRow(MakeRow(1, "a", 200)).ok());
+  ASSERT_TRUE(buffer.AddRow(MakeRow(2, "b", 500)).ok());
+
+  auto services = buffer.MaterializeColumn("service");
+  ASSERT_TRUE(services.has_value());
+  EXPECT_EQ(std::get<std::vector<std::string>>(*services),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(buffer.MaterializeColumn("nope").has_value());
+  EXPECT_EQ(buffer.ColumnTypeOf("status"), ColumnType::kInt64);
+  EXPECT_FALSE(buffer.ColumnTypeOf("nope").has_value());
+}
+
+TEST(WriteBufferTest, SealResetsForReuse) {
+  WriteBuffer buffer;
+  ASSERT_TRUE(buffer.AddRow(MakeRow(1, "a", 200)).ok());
+  ASSERT_TRUE(buffer.Seal(0).ok());
+  ASSERT_TRUE(buffer.AddRow(MakeRow(9, "z", 300)).ok());
+  auto block = buffer.Seal(0);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)->header().min_time, 9);
+  EXPECT_EQ((*block)->header().row_count, 1u);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,85 @@
+#include "compress/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace scuba {
+namespace {
+
+TEST(BitpackTest, RequiredWidth) {
+  EXPECT_EQ(bitpack::RequiredWidth({}), 0);
+  EXPECT_EQ(bitpack::RequiredWidth({0, 0}), 0);
+  EXPECT_EQ(bitpack::RequiredWidth({1}), 1);
+  EXPECT_EQ(bitpack::RequiredWidth({7}), 3);
+  EXPECT_EQ(bitpack::RequiredWidth({8}), 4);
+  EXPECT_EQ(bitpack::RequiredWidth({1, 255}), 8);
+  EXPECT_EQ(bitpack::RequiredWidth({~0ull}), 64);
+}
+
+TEST(BitpackTest, WidthZeroDecodesToZeros) {
+  ByteBuffer buf;
+  bitpack::Pack({0, 0, 0}, 0, &buf);
+  EXPECT_EQ(buf.size(), 0u);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(bitpack::Unpack(buf.AsSlice(), 0, 3, &out).ok());
+  EXPECT_EQ(out, (std::vector<uint64_t>{0, 0, 0}));
+}
+
+TEST(BitpackTest, PackedSizeIsExact) {
+  std::vector<uint64_t> values(100, 5);
+  ByteBuffer buf;
+  bitpack::Pack(values, 3, &buf);
+  EXPECT_EQ(buf.size(), bitpack::PackedSize(100, 3));
+  EXPECT_EQ(buf.size(), (100 * 3 + 7) / 8u);
+}
+
+TEST(BitpackTest, ShortInputIsCorruption) {
+  std::vector<uint64_t> out;
+  Status s = bitpack::Unpack(Slice("ab", 2), 8, 3, &out);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+// Property sweep over every width 1..64.
+class BitpackWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitpackWidthTest, RandomRoundTrip) {
+  int width = GetParam();
+  Random random(static_cast<uint64_t>(width) * 31 + 1);
+  uint64_t mask = width == 64 ? ~0ull : ((1ull << width) - 1);
+
+  for (size_t count : {1u, 2u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    std::vector<uint64_t> values;
+    values.reserve(count);
+    for (size_t i = 0; i < count; ++i) values.push_back(random.Next() & mask);
+    // Ensure the max width value appears so RequiredWidth == width often.
+    values[0] = mask;
+
+    ByteBuffer buf;
+    bitpack::Pack(values, width, &buf);
+    ASSERT_EQ(buf.size(), bitpack::PackedSize(count, width));
+
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(bitpack::Unpack(buf.AsSlice(), width, count, &out).ok())
+        << "width " << width << " count " << count;
+    EXPECT_EQ(out, values) << "width " << width << " count " << count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitpackWidthTest,
+                         ::testing::Range(1, 65));
+
+TEST(BitpackTest, RoundTripWithTrailingDataInSlice) {
+  std::vector<uint64_t> values = {1, 2, 3, 4, 5};
+  ByteBuffer buf;
+  bitpack::Pack(values, 3, &buf);
+  buf.Append("extra", 5);  // unpack must ignore trailing bytes
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(bitpack::Unpack(buf.AsSlice(), 3, 5, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,87 @@
+#include "compress/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace scuba {
+namespace {
+
+TEST(DeltaTest, EncodeProducesDifferences) {
+  std::vector<int64_t> values = {100, 105, 103, 110};
+  delta::Encode(&values);
+  EXPECT_EQ(values, (std::vector<int64_t>{100, 5, -2, 7}));
+}
+
+TEST(DeltaTest, DecodeInvertsEncode) {
+  std::vector<int64_t> values = {100, 105, 103, 110};
+  std::vector<int64_t> original = values;
+  delta::Encode(&values);
+  delta::Decode(&values);
+  EXPECT_EQ(values, original);
+}
+
+TEST(DeltaTest, EmptyAndSingleton) {
+  std::vector<int64_t> empty;
+  delta::Encode(&empty);
+  delta::Decode(&empty);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<int64_t> one = {42};
+  delta::Encode(&one);
+  EXPECT_EQ(one, std::vector<int64_t>{42});
+  delta::Decode(&one);
+  EXPECT_EQ(one, std::vector<int64_t>{42});
+}
+
+TEST(DeltaTest, ExtremeValuesWrapCorrectly) {
+  std::vector<int64_t> values = {std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max(),
+                                 0,
+                                 std::numeric_limits<int64_t>::min()};
+  std::vector<int64_t> original = values;
+  delta::Encode(&values);
+  delta::Decode(&values);
+  EXPECT_EQ(values, original);
+}
+
+TEST(DeltaTest, ChronologicalTimestampsGiveTinyDeltas) {
+  std::vector<int64_t> times;
+  for (int i = 0; i < 1000; ++i) times.push_back(1400000000 + i / 3);
+  delta::Encode(&times);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], 0);
+    EXPECT_LE(times[i], 1);
+  }
+}
+
+TEST(DeltaTest, RandomRoundTrip) {
+  Random random(77);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<int64_t>(random.Next()));
+  }
+  std::vector<int64_t> original = values;
+  delta::Encode(&values);
+  delta::Decode(&values);
+  EXPECT_EQ(values, original);
+}
+
+TEST(ZigZagAllTest, RoundTrip) {
+  std::vector<int64_t> values = {0, -1, 1, -1000, 1000,
+                                 std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max()};
+  EXPECT_EQ(delta::UnZigZagAll(delta::ZigZagAll(values)), values);
+}
+
+TEST(ZigZagAllTest, SmallMagnitudesStaySmall) {
+  std::vector<int64_t> values = {-3, -2, -1, 0, 1, 2, 3};
+  std::vector<uint64_t> zz = delta::ZigZagAll(values);
+  for (uint64_t v : zz) EXPECT_LE(v, 6u);
+}
+
+}  // namespace
+}  // namespace scuba

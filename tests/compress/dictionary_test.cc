@@ -1,0 +1,78 @@
+#include "compress/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace scuba {
+namespace {
+
+TEST(DictionaryTest, StringEncodingFirstOccurrenceOrder) {
+  std::vector<std::string> values = {"b", "a", "b", "c", "a"};
+  std::vector<std::string> dict;
+  std::vector<uint64_t> indexes = dictionary::EncodeStrings(values, &dict);
+  EXPECT_EQ(dict, (std::vector<std::string>{"b", "a", "c"}));
+  EXPECT_EQ(indexes, (std::vector<uint64_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(DictionaryTest, IntEncoding) {
+  std::vector<int64_t> values = {500, 200, 200, 500, 404};
+  std::vector<int64_t> dict;
+  std::vector<uint64_t> indexes = dictionary::EncodeInts(values, &dict);
+  EXPECT_EQ(dict, (std::vector<int64_t>{500, 200, 404}));
+  EXPECT_EQ(indexes, (std::vector<uint64_t>{0, 1, 1, 0, 2}));
+}
+
+TEST(DictionaryTest, StringDictSerializationRoundTrip) {
+  std::vector<std::string> dict = {"", "hello", std::string(1000, 'x'),
+                                   std::string("with\0null", 9)};
+  ByteBuffer buf;
+  dictionary::SerializeStringDict(dict, &buf);
+  std::vector<std::string> parsed;
+  ASSERT_TRUE(dictionary::ParseStringDict(buf.AsSlice(), &parsed).ok());
+  EXPECT_EQ(parsed, dict);
+}
+
+TEST(DictionaryTest, IntDictSerializationRoundTrip) {
+  std::vector<int64_t> dict = {0, -1, 1, INT64_MIN, INT64_MAX};
+  ByteBuffer buf;
+  dictionary::SerializeIntDict(dict, &buf);
+  std::vector<int64_t> parsed;
+  ASSERT_TRUE(dictionary::ParseIntDict(buf.AsSlice(), &parsed).ok());
+  EXPECT_EQ(parsed, dict);
+}
+
+TEST(DictionaryTest, TruncatedStringDictIsCorruption) {
+  std::vector<std::string> dict = {"hello", "world"};
+  ByteBuffer buf;
+  dictionary::SerializeStringDict(dict, &buf);
+  std::vector<std::string> parsed;
+  Status s = dictionary::ParseStringDict(
+      Slice(buf.data(), buf.size() - 3), &parsed);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(DictionaryTest, EmptyDictRoundTrips) {
+  ByteBuffer buf;
+  dictionary::SerializeStringDict({}, &buf);
+  std::vector<std::string> parsed = {"stale"};
+  ASSERT_TRUE(dictionary::ParseStringDict(buf.AsSlice(), &parsed).ok());
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(DictionaryTest, CountDistinctExactBelowLimit) {
+  std::vector<std::string> values = {"a", "b", "a", "c", "b"};
+  EXPECT_EQ(dictionary::CountDistinct(values, 10), 3u);
+  std::vector<int64_t> ints = {1, 1, 2, 3, 3, 3};
+  EXPECT_EQ(dictionary::CountDistinct(ints, 10), 3u);
+}
+
+TEST(DictionaryTest, CountDistinctStopsEarlyPastLimit) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 1000; ++i) values.push_back(i);
+  EXPECT_EQ(dictionary::CountDistinct(values, 5), 6u);  // limit + 1
+}
+
+}  // namespace
+}  // namespace scuba

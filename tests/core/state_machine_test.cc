@@ -1,0 +1,162 @@
+#include "core/state_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scuba {
+namespace {
+
+const std::vector<LeafState> kAllLeafStates = {
+    LeafState::kInit,  LeafState::kMemoryRecovery, LeafState::kDiskRecovery,
+    LeafState::kAlive, LeafState::kCopyToShm,      LeafState::kExit};
+
+const std::vector<TableState> kAllTableStates = {
+    TableState::kInit,    TableState::kMemoryRecovery,
+    TableState::kDiskRecovery, TableState::kAlive,
+    TableState::kPrepare, TableState::kCopyToShm,
+    TableState::kDone};
+
+TEST(LeafStateMachineTest, BackupPathFig5a) {
+  LeafStateMachine sm;
+  ASSERT_TRUE(sm.Transition(LeafState::kAlive).ok());
+  ASSERT_TRUE(sm.Transition(LeafState::kCopyToShm).ok());
+  ASSERT_TRUE(sm.Transition(LeafState::kExit).ok());
+  EXPECT_EQ(sm.state(), LeafState::kExit);
+}
+
+TEST(LeafStateMachineTest, RestorePathsFig5b) {
+  {
+    LeafStateMachine sm;
+    ASSERT_TRUE(sm.Transition(LeafState::kMemoryRecovery).ok());
+    ASSERT_TRUE(sm.Transition(LeafState::kAlive).ok());
+  }
+  {
+    LeafStateMachine sm;
+    ASSERT_TRUE(sm.Transition(LeafState::kDiskRecovery).ok());
+    ASSERT_TRUE(sm.Transition(LeafState::kAlive).ok());
+  }
+  {
+    // Exception during memory recovery falls back to disk.
+    LeafStateMachine sm;
+    ASSERT_TRUE(sm.Transition(LeafState::kMemoryRecovery).ok());
+    ASSERT_TRUE(sm.Transition(LeafState::kDiskRecovery).ok());
+    ASSERT_TRUE(sm.Transition(LeafState::kAlive).ok());
+  }
+}
+
+TEST(LeafStateMachineTest, IllegalTransitionsRejected) {
+  LeafStateMachine sm;
+  EXPECT_TRUE(sm.Transition(LeafState::kCopyToShm).IsFailedPrecondition());
+  EXPECT_TRUE(sm.Transition(LeafState::kExit).IsFailedPrecondition());
+  ASSERT_TRUE(sm.Transition(LeafState::kAlive).ok());
+  EXPECT_TRUE(sm.Transition(LeafState::kInit).IsFailedPrecondition());
+  EXPECT_TRUE(
+      sm.Transition(LeafState::kMemoryRecovery).IsFailedPrecondition());
+  // Failed transition leaves the state unchanged.
+  EXPECT_EQ(sm.state(), LeafState::kAlive);
+}
+
+TEST(LeafStateMachineTest, ExitIsTerminal) {
+  for (LeafState to : kAllLeafStates) {
+    EXPECT_FALSE(LeafStateMachine::IsAllowed(LeafState::kExit, to));
+  }
+}
+
+// Property: the full transition relation matches Fig 5a/5b exactly.
+TEST(LeafStateMachineTest, ExactTransitionRelation) {
+  auto expect_allowed = [](LeafState from, LeafState to) {
+    return (from == LeafState::kInit &&
+            (to == LeafState::kMemoryRecovery ||
+             to == LeafState::kDiskRecovery || to == LeafState::kAlive)) ||
+           (from == LeafState::kMemoryRecovery &&
+            (to == LeafState::kAlive || to == LeafState::kDiskRecovery)) ||
+           (from == LeafState::kDiskRecovery && to == LeafState::kAlive) ||
+           (from == LeafState::kAlive && to == LeafState::kCopyToShm) ||
+           (from == LeafState::kCopyToShm && to == LeafState::kExit);
+  };
+  for (LeafState from : kAllLeafStates) {
+    for (LeafState to : kAllLeafStates) {
+      EXPECT_EQ(LeafStateMachine::IsAllowed(from, to),
+                expect_allowed(from, to))
+          << LeafStateName(from) << " -> " << LeafStateName(to);
+    }
+  }
+}
+
+TEST(LeafStateMachineTest, ActionGatingPerPaper) {
+  LeafStateMachine sm;
+  // INIT: nothing.
+  EXPECT_FALSE(sm.CanAcceptAdds());
+  EXPECT_FALSE(sm.CanAcceptQueries());
+  EXPECT_FALSE(sm.CanDeleteExpired());
+
+  // MEMORY_RECOVERY: "no add data requests or queries are accepted" (§4.3).
+  ASSERT_TRUE(sm.Transition(LeafState::kMemoryRecovery).ok());
+  EXPECT_FALSE(sm.CanAcceptAdds());
+  EXPECT_FALSE(sm.CanAcceptQueries());
+
+  // DISK_RECOVERY: "both add and query requests are processed" (§4.3).
+  ASSERT_TRUE(sm.Transition(LeafState::kDiskRecovery).ok());
+  EXPECT_TRUE(sm.CanAcceptAdds());
+  EXPECT_TRUE(sm.CanAcceptQueries());
+  EXPECT_FALSE(sm.CanDeleteExpired());
+
+  // ALIVE: everything.
+  ASSERT_TRUE(sm.Transition(LeafState::kAlive).ok());
+  EXPECT_TRUE(sm.CanAcceptAdds());
+  EXPECT_TRUE(sm.CanAcceptQueries());
+  EXPECT_TRUE(sm.CanDeleteExpired());
+
+  // COPY_TO_SHM: nothing.
+  ASSERT_TRUE(sm.Transition(LeafState::kCopyToShm).ok());
+  EXPECT_FALSE(sm.CanAcceptAdds());
+  EXPECT_FALSE(sm.CanAcceptQueries());
+  EXPECT_FALSE(sm.CanDeleteExpired());
+}
+
+TEST(TableStateMachineTest, BackupPathFig5cHasPrepare) {
+  TableStateMachine sm;
+  ASSERT_TRUE(sm.Transition(TableState::kAlive).ok());
+  // A table cannot jump to COPY_TO_SHM without PREPARE.
+  EXPECT_TRUE(sm.Transition(TableState::kCopyToShm).IsFailedPrecondition());
+  ASSERT_TRUE(sm.Transition(TableState::kPrepare).ok());
+  ASSERT_TRUE(sm.Transition(TableState::kCopyToShm).ok());
+  ASSERT_TRUE(sm.Transition(TableState::kDone).ok());
+}
+
+TEST(TableStateMachineTest, PrepareKillsDeletes) {
+  TableStateMachine sm;
+  ASSERT_TRUE(sm.Transition(TableState::kAlive).ok());
+  EXPECT_TRUE(sm.CanDeleteExpired());
+  ASSERT_TRUE(sm.Transition(TableState::kPrepare).ok());
+  // "Scuba stops deleting expired table data once shutdown starts."
+  EXPECT_FALSE(sm.CanDeleteExpired());
+  EXPECT_FALSE(sm.CanAcceptAdds());
+  EXPECT_FALSE(sm.CanAcceptQueries());
+}
+
+TEST(TableStateMachineTest, RestorePathMirrorsLeaf) {
+  TableStateMachine sm;
+  ASSERT_TRUE(sm.Transition(TableState::kMemoryRecovery).ok());
+  ASSERT_TRUE(sm.Transition(TableState::kDiskRecovery).ok());
+  ASSERT_TRUE(sm.Transition(TableState::kAlive).ok());
+}
+
+TEST(TableStateMachineTest, DoneIsTerminal) {
+  for (TableState to : kAllTableStates) {
+    EXPECT_FALSE(TableStateMachine::IsAllowed(TableState::kDone, to));
+  }
+}
+
+TEST(StateNamesTest, AllNamed) {
+  for (LeafState s : kAllLeafStates) {
+    EXPECT_NE(LeafStateName(s), "UNKNOWN");
+  }
+  for (TableState s : kAllTableStates) {
+    EXPECT_NE(TableStateName(s), "UNKNOWN");
+  }
+}
+
+}  // namespace
+}  // namespace scuba

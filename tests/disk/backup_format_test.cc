@@ -1,0 +1,138 @@
+#include "disk/backup_format.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+
+TEST(BackupFormatTest, FileHeaderRoundTrip) {
+  ByteBuffer buf;
+  backup_format::AppendFileHeader(&buf);
+  Slice in = buf.AsSlice();
+  ASSERT_TRUE(backup_format::CheckFileHeader(&in).ok());
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(BackupFormatTest, BadMagicRejected) {
+  ByteBuffer buf;
+  backup_format::AppendFileHeader(&buf);
+  buf.data()[0] ^= 0xFF;
+  Slice in = buf.AsSlice();
+  EXPECT_TRUE(backup_format::CheckFileHeader(&in).IsCorruption());
+}
+
+TEST(BackupFormatTest, RowBatchRoundTrip) {
+  std::vector<Row> rows = MakeRows(50, 777);
+  ByteBuffer buf;
+  ASSERT_TRUE(backup_format::AppendRowBatchRecord(rows, &buf).ok());
+
+  Slice in = buf.AsSlice();
+  std::vector<Row> decoded;
+  ASSERT_TRUE(backup_format::ReadRowBatchRecord(&in, &decoded).ok());
+  EXPECT_TRUE(in.empty());
+  ASSERT_EQ(decoded.size(), rows.size());
+  // Dense decoding preserves values (all MakeRows rows share a field set).
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(decoded[i].Time(), rows[i].Time()) << i;
+    ASSERT_EQ(decoded[i].fields.size(), rows[i].fields.size());
+  }
+}
+
+TEST(BackupFormatTest, HeterogeneousRowsDensify) {
+  std::vector<Row> rows;
+  Row a;
+  a.SetTime(1);
+  a.Set("status", int64_t{200});
+  rows.push_back(a);
+  Row b;
+  b.SetTime(2);
+  b.Set("error", std::string("boom"));
+  rows.push_back(b);
+
+  ByteBuffer buf;
+  ASSERT_TRUE(backup_format::AppendRowBatchRecord(rows, &buf).ok());
+  Slice in = buf.AsSlice();
+  std::vector<Row> decoded;
+  ASSERT_TRUE(backup_format::ReadRowBatchRecord(&in, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  // Both rows carry the union schema (time, status, error).
+  EXPECT_EQ(decoded[0].fields.size(), 3u);
+  EXPECT_EQ(decoded[1].fields.size(), 3u);
+}
+
+TEST(BackupFormatTest, EmptyBatchRejected) {
+  ByteBuffer buf;
+  EXPECT_TRUE(
+      backup_format::AppendRowBatchRecord({}, &buf).IsInvalidArgument());
+}
+
+TEST(BackupFormatTest, RowWithoutTimeRejected) {
+  Row row;
+  row.Set("x", int64_t{1});
+  ByteBuffer buf;
+  EXPECT_TRUE(
+      backup_format::AppendRowBatchRecord({row}, &buf).IsInvalidArgument());
+}
+
+TEST(BackupFormatTest, ConflictingTypesRejected) {
+  Row a;
+  a.SetTime(1);
+  a.Set("v", int64_t{1});
+  Row b;
+  b.SetTime(2);
+  b.Set("v", std::string("one"));
+  ByteBuffer buf;
+  EXPECT_TRUE(
+      backup_format::AppendRowBatchRecord({a, b}, &buf).IsInvalidArgument());
+}
+
+TEST(BackupFormatTest, EndOfInputIsNotFound) {
+  Slice empty;
+  std::vector<Row> rows;
+  EXPECT_TRUE(backup_format::ReadRowBatchRecord(&empty, &rows).IsNotFound());
+}
+
+TEST(BackupFormatTest, TornRecordIsCorruption) {
+  std::vector<Row> rows = MakeRows(20);
+  ByteBuffer buf;
+  ASSERT_TRUE(backup_format::AppendRowBatchRecord(rows, &buf).ok());
+  for (size_t keep : {size_t{4}, size_t{8}, size_t{20}, buf.size() - 1}) {
+    Slice in(buf.data(), keep);
+    std::vector<Row> decoded;
+    EXPECT_TRUE(
+        backup_format::ReadRowBatchRecord(&in, &decoded).IsCorruption())
+        << "keep " << keep;
+  }
+}
+
+TEST(BackupFormatTest, PayloadBitFlipFailsCrc) {
+  std::vector<Row> rows = MakeRows(20);
+  ByteBuffer buf;
+  ASSERT_TRUE(backup_format::AppendRowBatchRecord(rows, &buf).ok());
+  buf.data()[buf.size() / 2] ^= 0x10;
+  Slice in = buf.AsSlice();
+  std::vector<Row> decoded;
+  EXPECT_TRUE(backup_format::ReadRowBatchRecord(&in, &decoded).IsCorruption());
+}
+
+TEST(BackupFormatTest, MultipleRecordsDecodeInOrder) {
+  ByteBuffer buf;
+  ASSERT_TRUE(
+      backup_format::AppendRowBatchRecord(MakeRows(5, 100), &buf).ok());
+  ASSERT_TRUE(
+      backup_format::AppendRowBatchRecord(MakeRows(7, 200), &buf).ok());
+  Slice in = buf.AsSlice();
+  std::vector<Row> first, second;
+  ASSERT_TRUE(backup_format::ReadRowBatchRecord(&in, &first).ok());
+  ASSERT_TRUE(backup_format::ReadRowBatchRecord(&in, &second).ok());
+  EXPECT_EQ(first.size(), 5u);
+  EXPECT_EQ(second.size(), 7u);
+  EXPECT_TRUE(backup_format::ReadRowBatchRecord(&in, &first).IsNotFound());
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,87 @@
+#include "ingest/row_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace scuba {
+namespace {
+
+TEST(RowGeneratorTest, DeterministicForSeed) {
+  RowGeneratorConfig config;
+  config.seed = 5;
+  RowGenerator a(config), b(config);
+  for (int i = 0; i < 100; ++i) {
+    Row ra = a.Next();
+    Row rb = b.Next();
+    ASSERT_EQ(ra.fields.size(), rb.fields.size());
+    EXPECT_EQ(ra.Time(), rb.Time());
+  }
+}
+
+TEST(RowGeneratorTest, EveryRowHasRequiredColumns) {
+  RowGenerator gen;
+  for (int i = 0; i < 1000; ++i) {
+    Row row = gen.Next();
+    ASSERT_TRUE(row.Time().has_value());
+    bool has_service = false, has_status = false, has_latency = false;
+    for (const auto& [name, value] : row.fields) {
+      if (name == "service") has_service = true;
+      if (name == "status") has_status = true;
+      if (name == "latency_ms") has_latency = true;
+    }
+    EXPECT_TRUE(has_service && has_status && has_latency);
+  }
+}
+
+TEST(RowGeneratorTest, TimeAdvancesRoughlyChronologically) {
+  RowGeneratorConfig config;
+  config.rows_per_second = 100;
+  config.time_jitter_seconds = 2;
+  RowGenerator gen(config);
+  int64_t first = *gen.Next().Time();
+  for (int i = 0; i < 999; ++i) gen.Next();
+  int64_t later = *gen.Next().Time();
+  // 1000 rows at 100 rows/s ~ 10 seconds of event time (+/- jitter).
+  EXPECT_NEAR(later - first, 10, 5);
+}
+
+TEST(RowGeneratorTest, ErrorFractionApproximatelyHonored) {
+  RowGeneratorConfig config;
+  config.error_fraction = 0.10;
+  RowGenerator gen(config);
+  int errors = 0;
+  constexpr int kRows = 20000;
+  for (int i = 0; i < kRows; ++i) {
+    Row row = gen.Next();
+    for (const auto& [name, value] : row.fields) {
+      if (name == "status" && std::get<int64_t>(value) >= 500) ++errors;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / kRows, 0.10, 0.02);
+}
+
+TEST(RowGeneratorTest, CardinalitiesRespectConfig) {
+  RowGeneratorConfig config;
+  config.num_services = 5;
+  RowGenerator gen(config);
+  std::set<std::string> services;
+  for (int i = 0; i < 5000; ++i) {
+    Row row = gen.Next();
+    for (const auto& [name, value] : row.fields) {
+      if (name == "service") services.insert(std::get<std::string>(value));
+    }
+  }
+  EXPECT_LE(services.size(), 5u);
+  EXPECT_GE(services.size(), 2u);  // skewed but not degenerate
+}
+
+TEST(RowGeneratorTest, NextBatchSizes) {
+  RowGenerator gen;
+  EXPECT_EQ(gen.NextBatch(0).size(), 0u);
+  EXPECT_EQ(gen.NextBatch(123).size(), 123u);
+  EXPECT_EQ(gen.rows_generated(), 123u);
+}
+
+}  // namespace
+}  // namespace scuba

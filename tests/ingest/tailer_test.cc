@@ -1,0 +1,165 @@
+#include "ingest/tailer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+using testing_util::ShmNamespace;
+using testing_util::TempDir;
+
+class TailerTest : public ::testing::Test {
+ protected:
+  TailerTest() : ns_("tailer"), dir_("tailer") {}
+
+  void StartLeaves(size_t n, uint64_t capacity = 1 << 30) {
+    for (size_t i = 0; i < n; ++i) {
+      LeafServerConfig config;
+      config.leaf_id = static_cast<uint32_t>(i);
+      config.namespace_prefix = ns_.prefix();
+      config.backup_dir = dir_.path() + "/leaf_" + std::to_string(i);
+      config.memory_capacity_bytes = capacity;
+      leaves_.push_back(std::make_unique<LeafServer>(config));
+      ASSERT_TRUE(leaves_.back()->Start().ok());
+    }
+  }
+
+  std::vector<LeafServer*> LeafPtrs() {
+    std::vector<LeafServer*> out;
+    for (auto& leaf : leaves_) out.push_back(leaf.get());
+    return out;
+  }
+
+  uint64_t TotalRows() {
+    uint64_t total = 0;
+    for (auto& leaf : leaves_) total += leaf->RowCount();
+    return total;
+  }
+
+  ShmNamespace ns_;
+  TempDir dir_;
+  CategoryLog log_;
+  std::vector<std::unique_ptr<LeafServer>> leaves_;
+};
+
+TEST_F(TailerTest, DeliversFullBatches) {
+  StartLeaves(4);
+  log_.AppendBatch("events", MakeRows(2500));
+
+  TailerConfig config;
+  config.category = "events";
+  config.batch_rows = 1000;
+  Tailer tailer(config, &log_, LeafPtrs());
+
+  auto delivered = tailer.Pump();
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 2000u);  // two full batches; 500 left
+  EXPECT_EQ(tailer.backlog(), 500u);
+  EXPECT_EQ(TotalRows(), 2000u);
+
+  // Flush pushes the short batch.
+  delivered = tailer.Pump(/*flush=*/true);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 500u);
+  EXPECT_EQ(TotalRows(), 2500u);
+  EXPECT_EQ(tailer.stats().batches_delivered, 3u);
+}
+
+TEST_F(TailerTest, TwoChoicePrefersFreerLeaf) {
+  StartLeaves(2, /*capacity=*/64 << 20);
+  // Pre-load leaf 0 so leaf 1 has more free memory.
+  ASSERT_TRUE(leaves_[0]->AddRows("preload", MakeRows(30000)).ok());
+
+  TailerConfig config;
+  config.category = "events";
+  config.batch_rows = 100;
+  Tailer tailer(config, &log_, LeafPtrs());
+
+  log_.AppendBatch("events", MakeRows(5000));
+  ASSERT_TRUE(tailer.Pump(true).ok());
+  // With both leaves always alive, every batch goes to the leaf with more
+  // free memory -> leaf 1 gets the (large) majority.
+  uint64_t leaf1_events = leaves_[1]->RowCount();
+  uint64_t leaf0_events = leaves_[0]->RowCount() - 30000;
+  EXPECT_GT(leaf1_events, leaf0_events * 3);
+}
+
+TEST_F(TailerTest, SkipsDeadLeaves) {
+  StartLeaves(3);
+  ShutdownStats stats;
+  ASSERT_TRUE(leaves_[0]->ShutdownToSharedMemory(&stats).ok());
+
+  TailerConfig config;
+  config.category = "events";
+  config.batch_rows = 100;
+  Tailer tailer(config, &log_, LeafPtrs());
+  log_.AppendBatch("events", MakeRows(1000));
+  auto delivered = tailer.Pump(true);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 1000u);
+  EXPECT_EQ(leaves_[0]->RowCount(), 0u);  // dead leaf got nothing
+  EXPECT_EQ(leaves_[1]->RowCount() + leaves_[2]->RowCount(), 1000u);
+}
+
+TEST_F(TailerTest, AllDeadMeansRetryLater) {
+  StartLeaves(2);
+  ShutdownStats stats;
+  ASSERT_TRUE(leaves_[0]->ShutdownToSharedMemory(&stats).ok());
+  ASSERT_TRUE(leaves_[1]->ShutdownToSharedMemory(&stats).ok());
+
+  TailerConfig config;
+  config.category = "events";
+  config.batch_rows = 100;
+  Tailer tailer(config, &log_, LeafPtrs());
+  log_.AppendBatch("events", MakeRows(500));
+  auto delivered = tailer.Pump(true);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 0u);
+  EXPECT_GT(tailer.stats().batches_failed, 0u);
+  EXPECT_EQ(tailer.backlog(), 500u);  // rows retained for retry
+}
+
+TEST_F(TailerTest, RetriesSucceedAfterLeafReturns) {
+  StartLeaves(1);
+  ShutdownStats stats;
+  ASSERT_TRUE(leaves_[0]->ShutdownToSharedMemory(&stats).ok());
+
+  TailerConfig config;
+  config.category = "events";
+  config.batch_rows = 100;
+  Tailer tailer(config, &log_, LeafPtrs());
+  log_.AppendBatch("events", MakeRows(200));
+  ASSERT_TRUE(tailer.Pump(true).ok());
+  EXPECT_EQ(tailer.backlog(), 200u);
+
+  // The replacement process comes up and recovers from shm.
+  LeafServerConfig lc = leaves_[0]->config();
+  leaves_[0] = std::make_unique<LeafServer>(lc);
+  ASSERT_TRUE(leaves_[0]->Start().ok());
+  tailer.SetLeaves(LeafPtrs());
+
+  auto delivered = tailer.Pump(true);
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered, 200u);
+  EXPECT_EQ(tailer.backlog(), 0u);
+}
+
+TEST_F(TailerTest, ChooseLeafReturnsNullWhenNothingAccepts) {
+  StartLeaves(2);
+  ShutdownStats stats;
+  ASSERT_TRUE(leaves_[0]->ShutdownToSharedMemory(&stats).ok());
+  ASSERT_TRUE(leaves_[1]->ShutdownToSharedMemory(&stats).ok());
+  TailerConfig config;
+  config.category = "events";
+  Tailer tailer(config, &log_, LeafPtrs());
+  bool fallback = false;
+  EXPECT_EQ(tailer.ChooseLeaf(&fallback), nullptr);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,253 @@
+#include "query/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+// A table with known contents:
+//   block 1: t in [100, 109], service web/api alternating, status 200,
+//            latency = t - 100
+//   block 2: t in [200, 209], all service "web", status 500, latency 9.5
+std::unique_ptr<Table> MakeTestTable() {
+  auto table_ptr = std::make_unique<Table>("requests");
+  Table& table = *table_ptr;
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) {
+    Row row;
+    row.SetTime(100 + i);
+    row.Set("service", std::string(i % 2 == 0 ? "web" : "api"));
+    row.Set("status", int64_t{200});
+    row.Set("latency_ms", static_cast<double>(i));
+    rows.push_back(row);
+  }
+  EXPECT_TRUE(table.AddRows(rows, 0).ok());
+  EXPECT_TRUE(table.SealWriteBuffer(0).ok());
+
+  rows.clear();
+  for (int i = 0; i < 10; ++i) {
+    Row row;
+    row.SetTime(200 + i);
+    row.Set("service", std::string("web"));
+    row.Set("status", int64_t{500});
+    row.Set("latency_ms", 9.5);
+    rows.push_back(row);
+  }
+  EXPECT_TRUE(table.AddRows(rows, 0).ok());
+  EXPECT_TRUE(table.SealWriteBuffer(0).ok());
+  return table_ptr;
+}
+
+Query CountAll() {
+  Query q;
+  q.table = "requests";
+  q.aggregates = {Count()};
+  return q;
+}
+
+TEST(ExecutorTest, CountAllRows) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  auto result = LeafExecutor::Execute(table, CountAll());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto rows = result->Finalize({Count()});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggregates[0], 20.0);
+  EXPECT_EQ(result->rows_scanned, 20u);
+  EXPECT_EQ(result->rows_matched, 20u);
+}
+
+TEST(ExecutorTest, TimeRangePrunesBlocks) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q = CountAll();
+  q.begin_time = 200;
+  q.end_time = 205;
+  auto result = LeafExecutor::Execute(table, q);
+  ASSERT_TRUE(result.ok());
+  // Block 1 [100,109] is pruned without decoding (§2.1).
+  EXPECT_EQ(result->blocks_pruned, 1u);
+  EXPECT_EQ(result->blocks_scanned, 1u);
+  EXPECT_EQ(result->rows_scanned, 10u);  // only block 2 decoded
+  auto rows = result->Finalize({Count()});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggregates[0], 6.0);  // t in {200..205}
+}
+
+TEST(ExecutorTest, StringPredicate) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q = CountAll();
+  q.predicates = {{"service", CompareOp::kEq, Value(std::string("api"))}};
+  auto result = LeafExecutor::Execute(table, q);
+  ASSERT_TRUE(result.ok());
+  auto rows = result->Finalize({Count()});
+  EXPECT_EQ(rows[0].aggregates[0], 5.0);  // 5 api rows in block 1
+}
+
+TEST(ExecutorTest, IntComparisons) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  for (auto [op, expected] :
+       std::vector<std::pair<CompareOp, double>>{{CompareOp::kEq, 10.0},
+                                                 {CompareOp::kNe, 10.0},
+                                                 {CompareOp::kLt, 10.0},
+                                                 {CompareOp::kLe, 20.0},
+                                                 {CompareOp::kGt, 0.0},
+                                                 {CompareOp::kGe, 10.0}}) {
+    Query q = CountAll();
+    q.predicates = {{"status", op, Value(int64_t{500})}};
+    auto result = LeafExecutor::Execute(table, q);
+    ASSERT_TRUE(result.ok());
+    auto rows = result->Finalize({Count()});
+    double got = rows.empty() ? 0.0 : rows[0].aggregates[0];
+    EXPECT_EQ(got, expected) << CompareOpName(op);
+  }
+}
+
+TEST(ExecutorTest, GroupByWithAggregates) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q;
+  q.table = "requests";
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Avg("latency_ms"), Max("latency_ms")};
+  auto result = LeafExecutor::Execute(table, q);
+  ASSERT_TRUE(result.ok());
+  auto rows = result->Finalize(q.aggregates);
+  ASSERT_EQ(rows.size(), 2u);  // api, web (ordered by key)
+  // "api": 5 rows, latencies 1,3,5,7,9 -> avg 5, max 9.
+  EXPECT_EQ(std::get<std::string>(rows[0].group_key[0]), "api");
+  EXPECT_EQ(rows[0].aggregates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rows[0].aggregates[1], 5.0);
+  EXPECT_EQ(rows[0].aggregates[2], 9.0);
+  // "web": 5 rows from block 1 (0,2,4,6,8) + 10 rows at 9.5.
+  EXPECT_EQ(std::get<std::string>(rows[1].group_key[0]), "web");
+  EXPECT_EQ(rows[1].aggregates[0], 15.0);
+  EXPECT_DOUBLE_EQ(rows[1].aggregates[2], 9.5);
+}
+
+TEST(ExecutorTest, SumMinOverInts) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q;
+  q.table = "requests";
+  q.aggregates = {Sum("status"), Min("status")};
+  auto result = LeafExecutor::Execute(table, q);
+  ASSERT_TRUE(result.ok());
+  auto rows = result->Finalize(q.aggregates);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggregates[0], 10 * 200.0 + 10 * 500.0);
+  EXPECT_EQ(rows[0].aggregates[1], 200.0);
+}
+
+TEST(ExecutorTest, SeesUnsealedBufferedRows) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  // 3 more rows still in the write buffer.
+  std::vector<Row> extra;
+  for (int i = 0; i < 3; ++i) {
+    Row row;
+    row.SetTime(300 + i);
+    row.Set("service", std::string("cache"));
+    row.Set("status", int64_t{200});
+    row.Set("latency_ms", 1.0);
+    extra.push_back(row);
+  }
+  ASSERT_TRUE(table.AddRows(extra, 0).ok());
+  ASSERT_GT(table.write_buffer().row_count(), 0u);
+
+  auto result = LeafExecutor::Execute(table, CountAll());
+  ASSERT_TRUE(result.ok());
+  auto rows = result->Finalize({Count()});
+  EXPECT_EQ(rows[0].aggregates[0], 23.0);
+}
+
+TEST(ExecutorTest, MissingColumnReadsAsDefault) {
+  Table table("t");
+  std::vector<Row> rows;
+  for (int i = 0; i < 5; ++i) {
+    Row row;
+    row.SetTime(10 + i);
+    rows.push_back(row);  // no "status" column anywhere
+  }
+  ASSERT_TRUE(table.AddRows(rows, 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+
+  Query q;
+  q.table = "t";
+  q.predicates = {{"status", CompareOp::kEq, Value(int64_t{0})}};
+  q.aggregates = {Count()};
+  auto result = LeafExecutor::Execute(table, q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto out = result->Finalize({Count()});
+  EXPECT_EQ(out[0].aggregates[0], 5.0);  // default 0 matches == 0
+}
+
+TEST(ExecutorTest, PredicateTypeMismatchFails) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q = CountAll();
+  q.predicates = {{"status", CompareOp::kEq, Value(std::string("200"))}};
+  EXPECT_TRUE(
+      LeafExecutor::Execute(table, q).status().IsInvalidArgument());
+}
+
+TEST(ExecutorTest, AggregateOverStringFails) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q;
+  q.table = "requests";
+  q.aggregates = {Sum("service")};
+  EXPECT_TRUE(
+      LeafExecutor::Execute(table, q).status().IsInvalidArgument());
+}
+
+TEST(ExecutorTest, ValidationErrors) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query no_aggs;
+  no_aggs.table = "requests";
+  EXPECT_TRUE(
+      LeafExecutor::Execute(table, no_aggs).status().IsInvalidArgument());
+
+  Query bad_range = CountAll();
+  bad_range.begin_time = 10;
+  bad_range.end_time = 5;
+  EXPECT_TRUE(
+      LeafExecutor::Execute(table, bad_range).status().IsInvalidArgument());
+}
+
+TEST(ExecutorTest, GroupByIntAndDoubleKeys) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q;
+  q.table = "requests";
+  q.group_by = {"status"};
+  q.aggregates = {Count()};
+  auto result = LeafExecutor::Execute(table, q);
+  ASSERT_TRUE(result.ok());
+  auto rows = result->Finalize(q.aggregates);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(rows[0].group_key[0]), 200);
+  EXPECT_EQ(std::get<int64_t>(rows[1].group_key[0]), 500);
+}
+
+TEST(ExecutorTest, LimitCapsGroups) {
+  auto table_ptr = MakeTestTable();
+  Table& table = *table_ptr;
+  Query q;
+  q.table = "requests";
+  q.group_by = {"time"};  // 20 distinct times
+  q.aggregates = {Count()};
+  q.limit = 5;
+  auto result = LeafExecutor::Execute(table, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups(), 20u);
+  EXPECT_EQ(result->Finalize(q.aggregates, q.limit).size(), 5u);
+}
+
+}  // namespace
+}  // namespace scuba

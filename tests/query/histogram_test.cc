@@ -1,0 +1,151 @@
+#include "query/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace scuba {
+namespace {
+
+// The histogram's bucket ratio bounds its relative error.
+constexpr double kRelTolerance = 0.08;
+
+void ExpectNear(double actual, double expected) {
+  EXPECT_NEAR(actual, expected, std::abs(expected) * kRelTolerance + 1e-6)
+      << "actual " << actual << " expected " << expected;
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.ValueAtPercentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    ExpectNear(h.ValueAtPercentile(p), 42.0);
+  }
+}
+
+TEST(HistogramTest, UniformValuesHitExactQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  ExpectNear(h.ValueAtPercentile(50), 500.0);
+  ExpectNear(h.ValueAtPercentile(90), 900.0);
+  ExpectNear(h.ValueAtPercentile(99), 990.0);
+  ExpectNear(h.ValueAtPercentile(100), 1000.0);
+}
+
+TEST(HistogramTest, SkewedDistribution) {
+  // 99% fast (about 2ms), 1% slow (about 800ms): p50 near 2, p99 near the
+  // boundary, p99.9-ish far out.
+  Histogram h;
+  Random random(5);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(random.Bernoulli(0.01) ? 800.0 : 2.0);
+  }
+  ExpectNear(h.ValueAtPercentile(50), 2.0);
+  ExpectNear(h.ValueAtPercentile(98), 2.0);
+  ExpectNear(h.ValueAtPercentile(99.5), 800.0);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdges) {
+  Histogram h;
+  h.Add(-5.0);
+  h.Add(0.0);
+  h.Add(1e300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LT(h.ValueAtPercentile(10), 0.01);
+  EXPECT_GT(h.ValueAtPercentile(99), 1e8);
+}
+
+TEST(HistogramTest, MergeEqualsUnion) {
+  Histogram a, b, whole;
+  Random random(7);
+  for (int i = 0; i < 5000; ++i) {
+    double v = std::exp(random.NextDouble() * 8.0);
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    whole.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.ValueAtPercentile(p), whole.ValueAtPercentile(p))
+        << p;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Add(3.0);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  ExpectNear(empty.ValueAtPercentile(50), 3.0);
+}
+
+TEST(HistogramTest, MergeIsCommutativeAndAssociative) {
+  auto fill = [](uint64_t seed, int n) {
+    Histogram h;
+    Random random(seed);
+    for (int i = 0; i < n; ++i) h.Add(1.0 + random.Uniform(10000));
+    return h;
+  };
+  Histogram a = fill(1, 300), b = fill(2, 500), c = fill(3, 700);
+
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ba = b;
+  ba.Merge(a);
+  EXPECT_DOUBLE_EQ(ab.ValueAtPercentile(75), ba.ValueAtPercentile(75));
+
+  Histogram ab_c = ab;
+  ab_c.Merge(c);
+  Histogram bc = b;
+  bc.Merge(c);
+  Histogram a_bc = a;
+  a_bc.Merge(bc);
+  EXPECT_DOUBLE_EQ(ab_c.ValueAtPercentile(75), a_bc.ValueAtPercentile(75));
+}
+
+// Property: against a sorted reference, the histogram percentile is within
+// one bucket ratio for log-uniform data across the full range.
+class HistogramAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramAccuracyTest, WithinRelativeTolerance) {
+  double p = GetParam();
+  Histogram h;
+  std::vector<double> values;
+  Random random(11);
+  for (int i = 0; i < 50000; ++i) {
+    double v = 1e-2 * std::exp(random.NextDouble() * 18.0);  // 1e-2..1e6
+    values.push_back(v);
+    h.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  rank = std::max<size_t>(rank, 1);
+  double expected = values[rank - 1];
+  ExpectNear(h.ValueAtPercentile(p), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, HistogramAccuracyTest,
+                         ::testing::Values(1.0, 10.0, 25.0, 50.0, 75.0,
+                                           90.0, 99.0, 99.9));
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,123 @@
+// Text predicates (contains / prefix) — Scuba's free-text log filters.
+
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+
+namespace scuba {
+namespace {
+
+std::unique_ptr<Table> MakeLogTable() {
+  auto table = std::make_unique<Table>("logs");
+  const char* messages[] = {
+      "upstream timeout after retry",
+      "connection refused by 10.0.0.1",
+      "timeout waiting for lock",
+      "request ok",
+      "TIMEOUT (uppercase)",
+  };
+  std::vector<Row> rows;
+  int64_t t = 100;
+  for (const char* msg : messages) {
+    Row row;
+    row.SetTime(t++);
+    row.Set("msg", std::string(msg));
+    row.Set("endpoint", std::string("/api/v2/users"));
+    rows.push_back(row);
+  }
+  {
+    Row row;
+    row.SetTime(t++);
+    row.Set("msg", std::string("static asset served"));
+    row.Set("endpoint", std::string("/static/logo.png"));
+    rows.push_back(row);
+  }
+  EXPECT_TRUE(table->AddRows(rows, 0).ok());
+  EXPECT_TRUE(table->SealWriteBuffer(0).ok());
+  return table;
+}
+
+double CountWhere(const Table& table, Predicate pred) {
+  Query q;
+  q.table = "logs";
+  q.predicates = {std::move(pred)};
+  q.aggregates = {Count()};
+  auto result = LeafExecutor::Execute(table, q);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  auto rows = result->Finalize(q.aggregates);
+  return rows.empty() ? 0.0 : rows[0].aggregates[0];
+}
+
+TEST(TextPredicateTest, ContainsIsCaseSensitiveSubstring) {
+  auto table = MakeLogTable();
+  EXPECT_EQ(CountWhere(*table, {"msg", CompareOp::kContains,
+                                Value(std::string("timeout"))}),
+            2.0);
+  EXPECT_EQ(CountWhere(*table, {"msg", CompareOp::kContains,
+                                Value(std::string("TIMEOUT"))}),
+            1.0);
+  EXPECT_EQ(CountWhere(*table, {"msg", CompareOp::kContains,
+                                Value(std::string("nope"))}),
+            0.0);
+}
+
+TEST(TextPredicateTest, EmptyNeedleMatchesEverything) {
+  auto table = MakeLogTable();
+  EXPECT_EQ(CountWhere(*table, {"msg", CompareOp::kContains,
+                                Value(std::string(""))}),
+            6.0);
+  EXPECT_EQ(CountWhere(*table, {"msg", CompareOp::kPrefix,
+                                Value(std::string(""))}),
+            6.0);
+}
+
+TEST(TextPredicateTest, PrefixAnchorsAtStart) {
+  auto table = MakeLogTable();
+  EXPECT_EQ(CountWhere(*table, {"endpoint", CompareOp::kPrefix,
+                                Value(std::string("/api/"))}),
+            5.0);
+  EXPECT_EQ(CountWhere(*table, {"endpoint", CompareOp::kPrefix,
+                                Value(std::string("/static/"))}),
+            1.0);
+  // "timeout" appears mid-string in one message, at the start of another.
+  EXPECT_EQ(CountWhere(*table, {"msg", CompareOp::kPrefix,
+                                Value(std::string("timeout"))}),
+            1.0);
+}
+
+TEST(TextPredicateTest, ComposesWithOtherPredicatesAndGroups) {
+  auto table = MakeLogTable();
+  Query q;
+  q.table = "logs";
+  q.predicates = {{"msg", CompareOp::kContains, Value(std::string("timeout"))},
+                  {"endpoint", CompareOp::kPrefix,
+                   Value(std::string("/api/"))}};
+  q.group_by = {"endpoint"};
+  q.aggregates = {Count()};
+  auto result = LeafExecutor::Execute(*table, q);
+  ASSERT_TRUE(result.ok());
+  auto rows = result->Finalize(q.aggregates);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].aggregates[0], 2.0);
+}
+
+TEST(TextPredicateTest, NonStringColumnRejected) {
+  auto table = MakeLogTable();
+  Query q;
+  q.table = "logs";
+  q.predicates = {{"time", CompareOp::kContains, Value(std::string("1"))}};
+  q.aggregates = {Count()};
+  EXPECT_TRUE(LeafExecutor::Execute(*table, q).status().IsInvalidArgument());
+}
+
+TEST(TextPredicateTest, NonStringLiteralRejected) {
+  auto table = MakeLogTable();
+  Query q;
+  q.table = "logs";
+  q.predicates = {{"msg", CompareOp::kPrefix, Value(int64_t{7})}};
+  q.aggregates = {Count()};
+  EXPECT_TRUE(LeafExecutor::Execute(*table, q).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "server/leaf_server.h"
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+using testing_util::ShmNamespace;
+using testing_util::TempDir;
+
+LeafServerConfig MakeConfig(const ShmNamespace& ns, const TempDir& dir) {
+  LeafServerConfig config;
+  config.leaf_id = 3;
+  config.namespace_prefix = ns.prefix();
+  config.backup_dir = dir.path() + "/leaf";
+  config.memory_capacity_bytes = 64 << 20;
+  return config;
+}
+
+TEST(LeafStatsTest, FreshLeafStats) {
+  ShmNamespace ns("st1");
+  TempDir dir("st1");
+  LeafServer leaf(MakeConfig(ns, dir));
+  ASSERT_TRUE(leaf.Start().ok());
+  LeafServer::Stats stats = leaf.GetStats();
+  EXPECT_EQ(stats.leaf_id, 3u);
+  EXPECT_EQ(stats.state, LeafState::kAlive);
+  EXPECT_EQ(stats.last_recovery_source, RecoverySource::kFresh);
+  EXPECT_EQ(stats.total_rows, 0u);
+  EXPECT_EQ(stats.memory_capacity_bytes, 64u << 20);
+  EXPECT_TRUE(stats.tables.empty());
+}
+
+TEST(LeafStatsTest, PerTableBreakdown) {
+  ShmNamespace ns("st2");
+  TempDir dir("st2");
+  LeafServer leaf(MakeConfig(ns, dir));
+  ASSERT_TRUE(leaf.Start().ok());
+
+  // 9 * 8192 rows: one sealed block (65,536) + buffered remainder.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(leaf.AddRows("events", MakeRows(8192, 1000 + i)).ok());
+  }
+  ASSERT_TRUE(leaf.AddRows("errors", MakeRows(100, 5000)).ok());
+
+  LeafServer::Stats stats = leaf.GetStats();
+  ASSERT_EQ(stats.tables.size(), 2u);
+  EXPECT_EQ(stats.total_rows, 9u * 8192 + 100);
+
+  const auto& events = stats.tables[0];
+  EXPECT_EQ(events.name, "events");
+  EXPECT_EQ(events.row_count, 9u * 8192);
+  EXPECT_EQ(events.num_row_blocks, 1u);
+  EXPECT_EQ(events.buffered_rows, 9u * 8192 - 65536);
+  EXPECT_GT(events.heap_bytes, 0u);
+  // Sealed service-log data compresses well (see E2).
+  EXPECT_GT(events.compression_ratio, 3.0);
+  EXPECT_EQ(events.min_time, 1000 - 0);  // MakeRows starts at start_time
+  EXPECT_GT(events.max_time, events.min_time);
+
+  const auto& errors = stats.tables[1];
+  EXPECT_EQ(errors.name, "errors");
+  EXPECT_EQ(errors.num_row_blocks, 0u);  // all buffered
+  EXPECT_EQ(errors.buffered_rows, 100u);
+  EXPECT_EQ(errors.compression_ratio, 0.0);  // nothing sealed yet
+}
+
+TEST(LeafStatsTest, RecoveryInfoAfterShmRestart) {
+  ShmNamespace ns("st3");
+  TempDir dir("st3");
+  {
+    LeafServer leaf(MakeConfig(ns, dir));
+    ASSERT_TRUE(leaf.Start().ok());
+    ASSERT_TRUE(leaf.AddRows("events", MakeRows(500)).ok());
+    ShutdownStats sstats;
+    ASSERT_TRUE(leaf.ShutdownToSharedMemory(&sstats).ok());
+    EXPECT_EQ(leaf.GetStats().state, LeafState::kExit);
+  }
+  LeafServer fresh(MakeConfig(ns, dir));
+  ASSERT_TRUE(fresh.Start().ok());
+  LeafServer::Stats stats = fresh.GetStats();
+  EXPECT_EQ(stats.last_recovery_source, RecoverySource::kSharedMemory);
+  EXPECT_GT(stats.last_recovery_micros, 0);
+  EXPECT_EQ(stats.total_rows, 500u);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,124 @@
+#include "shm/leaf_metadata.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::ShmNamespace;
+
+TEST(LeafMetadataTest, CreateStartsInvalid) {
+  ShmNamespace ns("meta1");
+  auto meta = LeafMetadata::Create(ns.prefix(), 0);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_FALSE(meta->valid());
+  EXPECT_EQ(meta->layout_version(), kShmLayoutVersion);
+  EXPECT_TRUE(meta->table_segment_names().empty());
+}
+
+TEST(LeafMetadataTest, PersistsAcrossOpen) {
+  ShmNamespace ns("meta2");
+  {
+    auto meta = LeafMetadata::Create(ns.prefix(), 3);
+    ASSERT_TRUE(meta.ok());
+    ASSERT_TRUE(meta->AddTableSegment("/" + ns.prefix() + "_t0").ok());
+    ASSERT_TRUE(meta->AddTableSegment("/" + ns.prefix() + "_t1").ok());
+    ASSERT_TRUE(meta->SetValid(true).ok());
+  }
+  auto reopened = LeafMetadata::Open(ns.prefix(), 3);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened->valid());
+  ASSERT_EQ(reopened->table_segment_names().size(), 2u);
+  EXPECT_EQ(reopened->table_segment_names()[0], "/" + ns.prefix() + "_t0");
+  EXPECT_EQ(reopened->table_segment_names()[1], "/" + ns.prefix() + "_t1");
+}
+
+TEST(LeafMetadataTest, ValidBitTogglePersists) {
+  ShmNamespace ns("meta3");
+  {
+    auto meta = LeafMetadata::Create(ns.prefix(), 1);
+    ASSERT_TRUE(meta.ok());
+    ASSERT_TRUE(meta->SetValid(true).ok());
+  }
+  {
+    auto meta = LeafMetadata::Open(ns.prefix(), 1);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_TRUE(meta->valid());
+    ASSERT_TRUE(meta->SetValid(false).ok());
+  }
+  auto meta = LeafMetadata::Open(ns.prefix(), 1);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->valid());
+}
+
+TEST(LeafMetadataTest, DistinctLeavesAreIsolated) {
+  ShmNamespace ns("meta4");
+  auto a = LeafMetadata::Create(ns.prefix(), 1);
+  auto b = LeafMetadata::Create(ns.prefix(), 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->AddTableSegment("/seg_for_1").ok());
+  auto b_read = LeafMetadata::Open(ns.prefix(), 2);
+  ASSERT_TRUE(b_read.ok());
+  EXPECT_TRUE(b_read->table_segment_names().empty());
+}
+
+TEST(LeafMetadataTest, CreateTwiceFails) {
+  ShmNamespace ns("meta5");
+  ASSERT_TRUE(LeafMetadata::Create(ns.prefix(), 0).ok());
+  EXPECT_TRUE(LeafMetadata::Create(ns.prefix(), 0).status().IsAlreadyExists());
+}
+
+TEST(LeafMetadataTest, OpenMissingIsNotFound) {
+  ShmNamespace ns("meta6");
+  EXPECT_FALSE(LeafMetadata::Exists(ns.prefix(), 7));
+  EXPECT_TRUE(LeafMetadata::Open(ns.prefix(), 7).status().IsNotFound());
+}
+
+TEST(LeafMetadataTest, DestroyAllSegmentsRemovesEverything) {
+  ShmNamespace ns("meta7");
+  auto seg = ShmSegment::Create("/" + ns.prefix() + "_tX", 64);
+  ASSERT_TRUE(seg.ok());
+  auto meta = LeafMetadata::Create(ns.prefix(), 0);
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(meta->AddTableSegment("/" + ns.prefix() + "_tX").ok());
+  ASSERT_TRUE(meta->DestroyAllSegments().ok());
+  EXPECT_FALSE(ShmSegment::Exists("/" + ns.prefix() + "_tX"));
+  EXPECT_FALSE(LeafMetadata::Exists(ns.prefix(), 0));
+}
+
+TEST(LeafMetadataTest, CorruptedChecksumIsDetected) {
+  ShmNamespace ns("meta8");
+  {
+    auto meta = LeafMetadata::Create(ns.prefix(), 0);
+    ASSERT_TRUE(meta.ok());
+    ASSERT_TRUE(meta->AddTableSegment("/x").ok());
+  }
+  // Flip a byte inside the checksummed payload (the num-tables field at
+  // offset 16 begins the CRC-covered region).
+  auto raw = ShmSegment::Open(LeafMetadata::SegmentNameForLeaf(ns.prefix(), 0));
+  ASSERT_TRUE(raw.ok());
+  raw->data()[16] ^= 0xFF;
+  EXPECT_TRUE(LeafMetadata::Open(ns.prefix(), 0).status().IsCorruption());
+}
+
+TEST(LeafMetadataTest, ManyTableNamesFit) {
+  ShmNamespace ns("meta9");
+  auto meta = LeafMetadata::Create(ns.prefix(), 0);
+  ASSERT_TRUE(meta.ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        meta->AddTableSegment("/" + ns.prefix() + "_table_segment_" +
+                              std::to_string(i))
+            .ok())
+        << i;
+  }
+  auto reopened = LeafMetadata::Open(ns.prefix(), 0);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->table_segment_names().size(), 500u);
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,145 @@
+#include "shm/shm_arena_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::ShmNamespace;
+
+TEST(ShmArenaTest, AllocateAndFree) {
+  ShmNamespace ns("arena1");
+  auto arena = ShmArenaAllocator::Create("/" + ns.prefix() + "_a", 1 << 16);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+
+  auto off1 = arena->Allocate(100);
+  ASSERT_TRUE(off1.ok());
+  auto off2 = arena->Allocate(200);
+  ASSERT_TRUE(off2.ok());
+  EXPECT_NE(*off1, *off2);
+  EXPECT_EQ(arena->allocated_bytes(), 104u + 200u);  // 8-aligned
+
+  ASSERT_TRUE(arena->Free(*off1, 100).ok());
+  ASSERT_TRUE(arena->Free(*off2, 200).ok());
+  EXPECT_EQ(arena->allocated_bytes(), 0u);
+  EXPECT_EQ(arena->num_free_ranges(), 1u);  // fully coalesced
+}
+
+TEST(ShmArenaTest, ZeroAllocAndDoubleFreeRejected) {
+  ShmNamespace ns("arena2");
+  auto arena = ShmArenaAllocator::Create("/" + ns.prefix() + "_a", 4096);
+  ASSERT_TRUE(arena.ok());
+  EXPECT_TRUE(arena->Allocate(0).status().IsInvalidArgument());
+  auto off = arena->Allocate(64);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(arena->Free(*off, 64).ok());
+  EXPECT_TRUE(arena->Free(*off, 64).IsInvalidArgument());
+  EXPECT_TRUE(arena->Free(1 << 30, 8).IsInvalidArgument());
+}
+
+TEST(ShmArenaTest, ExhaustionFails) {
+  ShmNamespace ns("arena3");
+  auto arena = ShmArenaAllocator::Create("/" + ns.prefix() + "_a", 4096);
+  ASSERT_TRUE(arena.ok());
+  ASSERT_TRUE(arena->Allocate(4096).ok());
+  EXPECT_TRUE(arena->Allocate(8).status().IsResourceExhausted());
+}
+
+TEST(ShmArenaTest, FragmentationBlocksLargeAllocDespiteFreeSpace) {
+  // The paper's worry in §3 made concrete: half the arena is free, but no
+  // single free range fits a large allocation.
+  ShmNamespace ns("arena4");
+  constexpr size_t kArena = 64 * 1024;
+  auto arena = ShmArenaAllocator::Create("/" + ns.prefix() + "_a", kArena);
+  ASSERT_TRUE(arena.ok());
+
+  std::vector<uint64_t> offsets;
+  constexpr size_t kChunk = 1024;
+  for (size_t i = 0; i < kArena / kChunk; ++i) {
+    auto off = arena->Allocate(kChunk);
+    ASSERT_TRUE(off.ok());
+    offsets.push_back(*off);
+  }
+  // Free every other chunk: 32 KB free, largest hole 1 KB.
+  for (size_t i = 0; i < offsets.size(); i += 2) {
+    ASSERT_TRUE(arena->Free(offsets[i], kChunk).ok());
+  }
+  EXPECT_EQ(arena->free_bytes(), kArena / 2);
+  EXPECT_EQ(arena->largest_free_range(), kChunk);
+  EXPECT_GT(arena->FragmentationRatio(), 0.9);
+  // 2 KB allocation fails even though 32 KB is nominally free.
+  EXPECT_TRUE(arena->Allocate(2 * kChunk).status().IsResourceExhausted());
+}
+
+TEST(ShmArenaTest, CoalescingMendsAdjacentRanges) {
+  ShmNamespace ns("arena5");
+  auto arena = ShmArenaAllocator::Create("/" + ns.prefix() + "_a", 8192);
+  ASSERT_TRUE(arena.ok());
+  auto a = arena->Allocate(1000);
+  auto b = arena->Allocate(1000);
+  auto c = arena->Allocate(1000);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(arena->Free(*a, 1000).ok());
+  ASSERT_TRUE(arena->Free(*c, 1000).ok());
+  // Head hole, plus c's hole coalesced with the untouched tail.
+  EXPECT_EQ(arena->num_free_ranges(), 2u);
+  ASSERT_TRUE(arena->Free(*b, 1000).ok());
+  EXPECT_EQ(arena->num_free_ranges(), 1u);  // all merged
+  EXPECT_DOUBLE_EQ(arena->FragmentationRatio(), 0.0);
+}
+
+TEST(ShmArenaTest, ChurnWorkloadAccumulatesFragmentation) {
+  // Insert/expire churn like a live table: mixed sizes, FIFO frees.
+  ShmNamespace ns("arena6");
+  auto arena =
+      ShmArenaAllocator::Create("/" + ns.prefix() + "_a", 4 << 20);
+  ASSERT_TRUE(arena.ok());
+  Random random(9);
+  std::vector<std::pair<uint64_t, size_t>> live;
+  double max_frag = 0;
+  for (int step = 0; step < 3000; ++step) {
+    size_t size = 64 + random.Uniform(8192);
+    auto off = arena->Allocate(size);
+    if (off.ok()) {
+      live.emplace_back(*off, size);
+    }
+    if (live.size() > 200 || !off.ok()) {
+      // Expire a random quarter (tables expire on different schedules).
+      size_t drop = live.size() / 4 + 1;
+      for (size_t i = 0; i < drop && !live.empty(); ++i) {
+        size_t victim = random.Uniform(live.size());
+        ASSERT_TRUE(
+            arena->Free(live[victim].first, live[victim].second).ok());
+        live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+      }
+    }
+    max_frag = std::max(max_frag, arena->FragmentationRatio());
+  }
+  // Churn must provoke measurable fragmentation (the ablation's point).
+  EXPECT_GT(max_frag, 0.05);
+}
+
+TEST(ShmArenaTest, DataSurvivesInSegment) {
+  ShmNamespace ns("arena7");
+  std::string name = "/" + ns.prefix() + "_a";
+  uint64_t offset = 0;
+  {
+    auto arena = ShmArenaAllocator::Create(name, 4096);
+    ASSERT_TRUE(arena.ok());
+    auto off = arena->Allocate(16);
+    ASSERT_TRUE(off.ok());
+    offset = *off;
+    std::memcpy(arena->data() + offset, "shm-resident", 12);
+  }
+  auto segment = ShmSegment::Open(name);
+  ASSERT_TRUE(segment.ok());
+  EXPECT_EQ(std::memcmp(segment->data() + offset, "shm-resident", 12), 0);
+}
+
+}  // namespace
+}  // namespace scuba

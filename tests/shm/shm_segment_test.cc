@@ -1,0 +1,126 @@
+#include "shm/shm_segment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::ShmNamespace;
+
+TEST(ShmSegmentTest, CreateWriteOpenRead) {
+  ShmNamespace ns("seg1");
+  std::string name = "/" + ns.prefix() + "_a";
+
+  {
+    auto segment = ShmSegment::Create(name, 4096);
+    ASSERT_TRUE(segment.ok()) << segment.status().ToString();
+    std::memcpy(segment->data(), "persist me", 10);
+  }  // segment object destroyed; shared memory must survive
+
+  auto reopened = ShmSegment::Open(name);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->size(), 4096u);
+  EXPECT_EQ(std::memcmp(reopened->data(), "persist me", 10), 0);
+}
+
+TEST(ShmSegmentTest, CreateRejectsBadNames) {
+  EXPECT_TRUE(ShmSegment::Create("noslash", 64).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ShmSegment::Create("/a/b", 64).status().IsInvalidArgument());
+  EXPECT_TRUE(ShmSegment::Create("", 64).status().IsInvalidArgument());
+  EXPECT_TRUE(ShmSegment::Create("/x", 0).status().IsInvalidArgument());
+}
+
+TEST(ShmSegmentTest, CreateFailsIfExists) {
+  ShmNamespace ns("seg2");
+  std::string name = "/" + ns.prefix() + "_dup";
+  auto first = ShmSegment::Create(name, 64);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(ShmSegment::Create(name, 64).status().IsAlreadyExists());
+}
+
+TEST(ShmSegmentTest, OpenMissingIsNotFound) {
+  ShmNamespace ns("seg3");
+  EXPECT_TRUE(ShmSegment::Open("/" + ns.prefix() + "_ghost")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ShmSegmentTest, GrowPreservesContents) {
+  ShmNamespace ns("seg4");
+  auto segment = ShmSegment::Create("/" + ns.prefix() + "_g", 4096);
+  ASSERT_TRUE(segment.ok());
+  std::memset(segment->data(), 0xAB, 4096);
+  ASSERT_TRUE(segment->Grow(1 << 20).ok());
+  EXPECT_EQ(segment->size(), 1u << 20);
+  for (size_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(segment->data()[i], 0xAB) << i;
+  }
+  // Grow to smaller is a no-op.
+  ASSERT_TRUE(segment->Grow(64).ok());
+  EXPECT_EQ(segment->size(), 1u << 20);
+}
+
+TEST(ShmSegmentTest, TruncateShrinksAndKeepsPrefix) {
+  ShmNamespace ns("seg5");
+  auto segment = ShmSegment::Create("/" + ns.prefix() + "_t", 1 << 20);
+  ASSERT_TRUE(segment.ok());
+  std::memcpy(segment->data(), "head", 4);
+  ASSERT_TRUE(segment->Truncate(4096).ok());
+  EXPECT_EQ(segment->size(), 4096u);
+  EXPECT_EQ(std::memcmp(segment->data(), "head", 4), 0);
+  // Reopen sees the truncated size.
+  std::string name = segment->name();
+  auto reopened = ShmSegment::Open(name);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->size(), 4096u);
+}
+
+TEST(ShmSegmentTest, UnlinkRemoves) {
+  ShmNamespace ns("seg6");
+  std::string name = "/" + ns.prefix() + "_u";
+  auto segment = ShmSegment::Create(name, 64);
+  ASSERT_TRUE(segment.ok());
+  EXPECT_TRUE(ShmSegment::Exists(name));
+  ASSERT_TRUE(segment->Unlink().ok());
+  EXPECT_FALSE(ShmSegment::Exists(name));
+  // Removing a missing segment is OK.
+  EXPECT_TRUE(ShmSegment::Remove(name).ok());
+}
+
+TEST(ShmSegmentTest, ListAndRemoveAllByPrefix) {
+  ShmNamespace ns("seg7");
+  for (int i = 0; i < 3; ++i) {
+    auto s = ShmSegment::Create(
+        "/" + ns.prefix() + "_n" + std::to_string(i), 64);
+    ASSERT_TRUE(s.ok());
+  }
+  EXPECT_EQ(ShmSegment::List("/" + ns.prefix()).size(), 3u);
+  EXPECT_GT(TotalShmBytes("/" + ns.prefix()), 0u);
+  EXPECT_EQ(ShmSegment::RemoveAll("/" + ns.prefix()), 3u);
+  EXPECT_TRUE(ShmSegment::List("/" + ns.prefix()).empty());
+}
+
+TEST(ShmSegmentTest, MoveTransfersOwnership) {
+  ShmNamespace ns("seg8");
+  auto segment = ShmSegment::Create("/" + ns.prefix() + "_m", 128);
+  ASSERT_TRUE(segment.ok());
+  std::memcpy(segment->data(), "xy", 2);
+  ShmSegment moved = std::move(segment).value();
+  EXPECT_EQ(moved.size(), 128u);
+  EXPECT_EQ(std::memcmp(moved.data(), "xy", 2), 0);
+}
+
+TEST(ShmSegmentTest, SyncSucceeds) {
+  ShmNamespace ns("seg9");
+  auto segment = ShmSegment::Create("/" + ns.prefix() + "_s", 64);
+  ASSERT_TRUE(segment.ok());
+  EXPECT_TRUE(segment->Sync().ok());
+}
+
+}  // namespace
+}  // namespace scuba

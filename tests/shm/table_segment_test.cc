@@ -1,0 +1,186 @@
+#include "shm/table_segment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "columnar/table.h"
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+using testing_util::ShmNamespace;
+
+std::unique_ptr<RowBlock> MakeBlock(size_t rows, int64_t t0) {
+  Table table("tmp");
+  EXPECT_TRUE(table.AddRows(MakeRows(rows, t0), 0).ok());
+  EXPECT_TRUE(table.SealWriteBuffer(0).ok());
+  return table.ReleaseRowBlock(0);
+}
+
+// Writes `blocks` through the streaming writer, like shutdown does.
+void WriteBlocks(TableSegmentWriter* writer,
+                 const std::vector<std::unique_ptr<RowBlock>>& blocks) {
+  for (const auto& block : blocks) {
+    ASSERT_TRUE(writer->AppendRowBlockMeta(*block).ok());
+    for (size_t c = 0; c < block->num_columns(); ++c) {
+      ASSERT_TRUE(writer->AppendColumnBuffer(block->column(c)->AsSlice()).ok());
+    }
+  }
+  ASSERT_TRUE(writer->Finish(blocks.size()).ok());
+}
+
+TEST(TableSegmentTest, WriteThenReadRoundTrip) {
+  ShmNamespace ns("tseg1");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+
+  std::vector<std::unique_ptr<RowBlock>> blocks;
+  blocks.push_back(MakeBlock(100, 1000));
+  blocks.push_back(MakeBlock(50, 2000));
+
+  auto writer = TableSegmentWriter::Create(seg_name, "events", 1 << 16);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  WriteBlocks(&writer.value(), blocks);
+
+  auto reader = TableSegmentReader::Open(seg_name);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->table_name(), "events");
+  ASSERT_EQ(reader->num_row_blocks(), 2u);
+  EXPECT_EQ(reader->block(0).meta.header.row_count, 100u);
+  EXPECT_EQ(reader->block(1).meta.header.row_count, 50u);
+  EXPECT_EQ(reader->block(0).meta.schema, blocks[0]->schema());
+
+  // Column payloads are bit-identical to the source buffers.
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t c = 0; c < blocks[b]->num_columns(); ++c) {
+      Slice src = blocks[b]->column(c)->AsSlice();
+      Slice dst = reader->ColumnSlice(b, c);
+      ASSERT_EQ(src.size(), dst.size());
+      EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+    }
+  }
+}
+
+TEST(TableSegmentTest, UnderestimatedSizeGrows) {
+  ShmNamespace ns("tseg2");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+
+  std::vector<std::unique_ptr<RowBlock>> blocks;
+  blocks.push_back(MakeBlock(5000, 1000));
+
+  // Estimate of 1 KB is far too small; the writer must grow (Fig 6).
+  auto writer = TableSegmentWriter::Create(seg_name, "events", 1024);
+  ASSERT_TRUE(writer.ok());
+  WriteBlocks(&writer.value(), blocks);
+  EXPECT_GT(writer->grow_count(), 0u);
+
+  auto reader = TableSegmentReader::Open(seg_name);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->block(0).meta.header.row_count, 5000u);
+}
+
+TEST(TableSegmentTest, OverestimatedSizeIsTruncatedAtFinish) {
+  ShmNamespace ns("tseg3");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+
+  std::vector<std::unique_ptr<RowBlock>> blocks;
+  blocks.push_back(MakeBlock(10, 1000));
+
+  auto writer = TableSegmentWriter::Create(seg_name, "events", 8 << 20);
+  ASSERT_TRUE(writer.ok());
+  WriteBlocks(&writer.value(), blocks);
+
+  auto reader = TableSegmentReader::Open(seg_name);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_LT(reader->segment_bytes(), 1u << 20);
+  EXPECT_EQ(reader->segment_bytes(), reader->used_bytes());
+}
+
+TEST(TableSegmentTest, EmptyTableRoundTrips) {
+  ShmNamespace ns("tseg4");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+  auto writer = TableSegmentWriter::Create(seg_name, "empty_table", 4096);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Finish(0).ok());
+
+  auto reader = TableSegmentReader::Open(seg_name);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->table_name(), "empty_table");
+  EXPECT_EQ(reader->num_row_blocks(), 0u);
+}
+
+TEST(TableSegmentTest, TruncateToBlockOffsetDropsTail) {
+  ShmNamespace ns("tseg5");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+
+  std::vector<std::unique_ptr<RowBlock>> blocks;
+  blocks.push_back(MakeBlock(100, 1000));
+  blocks.push_back(MakeBlock(100, 2000));
+  auto writer = TableSegmentWriter::Create(seg_name, "events", 1 << 16);
+  ASSERT_TRUE(writer.ok());
+  WriteBlocks(&writer.value(), blocks);
+
+  auto reader = TableSegmentReader::Open(seg_name);
+  ASSERT_TRUE(reader.ok());
+  size_t before = reader->segment_bytes();
+  size_t second_block_offset = reader->block(1).block_offset;
+  ASSERT_TRUE(reader->TruncateTo(second_block_offset).ok());
+  EXPECT_LT(reader->segment_bytes(), before);
+  // Block 0's columns are still readable after the tail truncation.
+  Slice col = reader->ColumnSlice(0, 0);
+  EXPECT_TRUE(RowBlockColumn::ValidateBuffer(col).ok());
+}
+
+TEST(TableSegmentTest, CorruptMagicIsDetected) {
+  ShmNamespace ns("tseg6");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+  std::vector<std::unique_ptr<RowBlock>> blocks;
+  blocks.push_back(MakeBlock(10, 1000));
+  auto writer = TableSegmentWriter::Create(seg_name, "events", 1 << 16);
+  ASSERT_TRUE(writer.ok());
+  WriteBlocks(&writer.value(), blocks);
+
+  auto raw = ShmSegment::Open(seg_name);
+  ASSERT_TRUE(raw.ok());
+  raw->data()[0] ^= 0xFF;
+  EXPECT_TRUE(TableSegmentReader::Open(seg_name).status().IsCorruption());
+}
+
+TEST(TableSegmentTest, TruncatedSegmentIsDetected) {
+  ShmNamespace ns("tseg7");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+  std::vector<std::unique_ptr<RowBlock>> blocks;
+  blocks.push_back(MakeBlock(1000, 1000));
+  auto writer = TableSegmentWriter::Create(seg_name, "events", 1 << 16);
+  ASSERT_TRUE(writer.ok());
+  WriteBlocks(&writer.value(), blocks);
+
+  // Chop the segment in half behind the reader's back.
+  {
+    auto raw = ShmSegment::Open(seg_name);
+    ASSERT_TRUE(raw.ok());
+    size_t half = raw->size() / 2;
+    ASSERT_TRUE(raw->Truncate(half).ok());
+  }
+  EXPECT_FALSE(TableSegmentReader::Open(seg_name).ok());
+}
+
+TEST(TableSegmentTest, UnlinkRemovesSegment) {
+  ShmNamespace ns("tseg8");
+  std::string seg_name = "/" + ns.prefix() + "_t0";
+  std::vector<std::unique_ptr<RowBlock>> blocks;
+  blocks.push_back(MakeBlock(10, 1000));
+  auto writer = TableSegmentWriter::Create(seg_name, "events", 1 << 16);
+  ASSERT_TRUE(writer.ok());
+  WriteBlocks(&writer.value(), blocks);
+
+  auto reader = TableSegmentReader::Open(seg_name);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->Unlink().ok());
+  EXPECT_FALSE(ShmSegment::Exists(seg_name));
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,79 @@
+#ifndef SCUBA_TESTS_TEST_UTIL_H_
+#define SCUBA_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "columnar/row.h"
+#include "disk/file.h"
+#include "shm/shm_segment.h"
+#include "util/random.h"
+
+namespace scuba {
+namespace testing_util {
+
+/// A /dev/shm namespace unique to this process + tag, so parallel test
+/// binaries never collide. RemoveAll-ed on destruction.
+class ShmNamespace {
+ public:
+  explicit ShmNamespace(const std::string& tag)
+      : prefix_("sctest_" + std::to_string(getpid()) + "_" + tag) {
+    ShmSegment::RemoveAll("/" + prefix_);
+  }
+  ~ShmNamespace() { ShmSegment::RemoveAll("/" + prefix_); }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  std::string prefix_;
+};
+
+/// A temp directory unique to this process + tag, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = "/tmp/sctest_" + std::to_string(getpid()) + "_" + tag;
+    std::string cmd = "rm -rf " + path_;
+    if (std::system(cmd.c_str()) != 0) {
+      // Best effort; EnsureDir below surfaces real failures.
+    }
+    EnsureDir(path_).ok();
+  }
+  ~TempDir() {
+    std::string cmd = "rm -rf " + path_;
+    if (std::system(cmd.c_str()) != 0) {
+      // Best effort cleanup.
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Deterministic small service-log-like rows for table tests.
+inline std::vector<Row> MakeRows(size_t n, int64_t start_time = 1000,
+                                 uint64_t seed = 99) {
+  Random random(seed);
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    row.SetTime(start_time + static_cast<int64_t>(i / 10));
+    row.Set("service", std::string("svc_") +
+                           std::to_string(random.Uniform(8)));
+    row.Set("status", static_cast<int64_t>(random.Bernoulli(0.1) ? 500 : 200));
+    row.Set("latency_ms", 1.0 + random.NextDouble() * 20.0);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace testing_util
+}  // namespace scuba
+
+#endif  // SCUBA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,102 @@
+#include "util/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace scuba {
+namespace {
+
+TEST(ByteBufferTest, StartsEmpty) {
+  ByteBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ByteBufferTest, AppendGrowsAndPreservesContents) {
+  ByteBuffer buf;
+  std::string chunk(100, 'a');
+  for (int i = 0; i < 100; ++i) buf.Append(chunk.data(), chunk.size());
+  ASSERT_EQ(buf.size(), 10000u);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf.data()[i], 'a') << i;
+  }
+}
+
+TEST(ByteBufferTest, FixedWidthAppendsAreLittleEndian) {
+  ByteBuffer buf;
+  buf.AppendU32(0x04030201u);
+  buf.AppendU64(0x0807060504030201ull);
+  ASSERT_EQ(buf.size(), 12u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(buf.data()[i], i + 1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(buf.data()[4 + i], i + 1);
+}
+
+TEST(ByteBufferTest, DecodeInvertsEncode) {
+  uint8_t scratch[8];
+  ByteBuffer::EncodeU32(scratch, 0xDEADBEEFu);
+  EXPECT_EQ(ByteBuffer::DecodeU32(scratch), 0xDEADBEEFu);
+  ByteBuffer::EncodeU64(scratch, 0x0123456789ABCDEFull);
+  EXPECT_EQ(ByteBuffer::DecodeU64(scratch), 0x0123456789ABCDEFull);
+}
+
+TEST(ByteBufferTest, PatchOverwritesReservedHeader) {
+  ByteBuffer buf;
+  size_t at = buf.AppendZeros(8);
+  buf.AppendU32(7);
+  buf.PatchU64(at, 0x1122334455667788ull);
+  EXPECT_EQ(ByteBuffer::DecodeU64(buf.data() + at), 0x1122334455667788ull);
+  EXPECT_EQ(ByteBuffer::DecodeU32(buf.data() + 8), 7u);
+}
+
+TEST(ByteBufferTest, AlignToPadsWithZeros) {
+  ByteBuffer buf;
+  buf.AppendU8(0xFF);
+  buf.AlignTo(8);
+  EXPECT_EQ(buf.size(), 8u);
+  for (size_t i = 1; i < 8; ++i) EXPECT_EQ(buf.data()[i], 0);
+  buf.AlignTo(8);  // already aligned: no-op
+  EXPECT_EQ(buf.size(), 8u);
+}
+
+TEST(ByteBufferTest, ClearKeepsCapacity) {
+  ByteBuffer buf;
+  buf.AppendZeros(1000);
+  size_t cap = buf.capacity();
+  buf.Clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), cap);
+}
+
+TEST(ByteBufferTest, ReleaseTransfersOwnership) {
+  ByteBuffer buf;
+  buf.AppendU32(0xABCD1234u);
+  auto owned = buf.Release();
+  EXPECT_EQ(ByteBuffer::DecodeU32(owned.get()), 0xABCD1234u);
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ByteBufferTest, MoveSemantics) {
+  ByteBuffer a;
+  a.AppendU32(5);
+  ByteBuffer b = std::move(a);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(ByteBuffer::DecodeU32(b.data()), 5u);
+}
+
+TEST(SliceTest, EqualityAndSubslice) {
+  std::string data = "hello world";
+  Slice s(data);
+  EXPECT_EQ(s.size(), 11u);
+  EXPECT_EQ(s.Subslice(6, 5).ToString(), "world");
+  EXPECT_EQ(Slice(data), Slice(data));
+  EXPECT_NE(Slice(data), Slice(data).Subslice(0, 5));
+
+  Slice t(data);
+  t.RemovePrefix(6);
+  EXPECT_EQ(t.ToString(), "world");
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bit_util.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace scuba {
+namespace {
+
+TEST(SimulatedClockTest, AdvancesOnlyWhenAsked) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.AdvanceMicros(500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.SleepMicros(250);  // sleeping advances simulated time instantly
+  EXPECT_EQ(clock.NowMicros(), 1750);
+  clock.SetMicros(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+  EXPECT_EQ(clock.NowUnixSeconds(), 0);
+}
+
+TEST(RealClockTest, MonotoneAndRoughlyNow) {
+  RealClock* clock = RealClock::Get();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+  // Sanity: after 2020-01-01 in microseconds.
+  EXPECT_GT(a, 1577836800000000ll);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  RealClock::Get()->SleepMicros(2000);
+  EXPECT_GE(watch.ElapsedMicros(), 1500);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMicros(), 1500);
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random random(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(random.Uniform(17), 17u);
+    int64_t v = random.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, BernoulliApproximatesProbability) {
+  Random random(11);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (random.Bernoulli(0.25)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(RandomTest, SkewedFavorsSmallIndices) {
+  Random random(13);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = random.Skewed(100);
+    EXPECT_LT(v, 100u);
+    if (v < 25) ++low;
+    if (v >= 75) ++high;
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST(BitUtilTest, BitWidth) {
+  EXPECT_EQ(bit_util::BitWidth(0), 0);
+  EXPECT_EQ(bit_util::BitWidth(1), 1);
+  EXPECT_EQ(bit_util::BitWidth(2), 2);
+  EXPECT_EQ(bit_util::BitWidth(255), 8);
+  EXPECT_EQ(bit_util::BitWidth(256), 9);
+  EXPECT_EQ(bit_util::BitWidth(~0ull), 64);
+}
+
+TEST(BitUtilTest, RoundUp) {
+  EXPECT_EQ(bit_util::RoundUp(0, 8), 0u);
+  EXPECT_EQ(bit_util::RoundUp(1, 8), 8u);
+  EXPECT_EQ(bit_util::RoundUp(8, 8), 8u);
+  EXPECT_EQ(bit_util::RoundUp(9, 8), 16u);
+}
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(bit_util::IsPowerOfTwo(0));
+  EXPECT_TRUE(bit_util::IsPowerOfTwo(1));
+  EXPECT_TRUE(bit_util::IsPowerOfTwo(64));
+  EXPECT_FALSE(bit_util::IsPowerOfTwo(65));
+}
+
+}  // namespace
+}  // namespace scuba

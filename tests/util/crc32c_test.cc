@@ -1,0 +1,78 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace scuba {
+namespace {
+
+uint32_t CrcOf(const std::string& s) {
+  return crc32c::Value(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+// Known-answer vectors for CRC-32C (Castagnoli), from RFC 3720 / kernel
+// test suites.
+TEST(Crc32cTest, KnownVectors) {
+  EXPECT_EQ(CrcOf(""), 0x00000000u);
+  EXPECT_EQ(CrcOf("a"), 0xC1D04330u);
+  EXPECT_EQ(CrcOf("123456789"), 0xE3069283u);
+
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c::Value(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < 32; ++i) ascending[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(crc32c::Value(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  std::string data = "hello world, this is an incremental crc test";
+  uint32_t whole = CrcOf(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t part = crc32c::Value(
+        reinterpret_cast<const uint8_t*>(data.data()), split);
+    uint32_t total = crc32c::Extend(
+        part, reinterpret_cast<const uint8_t*>(data.data()) + split,
+        data.size() - split);
+    EXPECT_EQ(total, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu}) {
+    uint32_t masked = crc32c::Mask(crc);
+    EXPECT_NE(masked, crc);
+    EXPECT_EQ(crc32c::Unmask(masked), crc);
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  std::string data(1024, 'x');
+  uint32_t base = CrcOf(data);
+  data[512] = 'y';
+  EXPECT_NE(CrcOf(data), base);
+}
+
+TEST(Crc32cTest, UnalignedOffsetsAgree) {
+  // The 4-byte fast path must agree with byte-at-a-time for any length.
+  std::string data = "0123456789abcdefghijklmnopqrstuvwxyz";
+  for (size_t len = 0; len <= data.size(); ++len) {
+    uint32_t fast = crc32c::Value(
+        reinterpret_cast<const uint8_t*>(data.data()), len);
+    uint32_t slow = 0;
+    for (size_t i = 0; i < len; ++i) {
+      slow = crc32c::Extend(
+          slow, reinterpret_cast<const uint8_t*>(data.data()) + i, 1);
+    }
+    EXPECT_EQ(fast, slow) << "length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace scuba

@@ -1,0 +1,98 @@
+#include "util/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace scuba {
+namespace {
+
+TEST(VarintTest, EncodesSmallValuesInOneByte) {
+  for (uint64_t v : {0ull, 1ull, 42ull, 127ull}) {
+    ByteBuffer buf;
+    varint::AppendU64(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+    Slice in = buf.AsSlice();
+    uint64_t decoded = 0;
+    ASSERT_TRUE(varint::ReadU64(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, BoundaryValues) {
+  std::vector<uint64_t> values = {
+      127, 128, 16383, 16384, (1ull << 32) - 1, 1ull << 32,
+      std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    ByteBuffer buf;
+    varint::AppendU64(&buf, v);
+    Slice in = buf.AsSlice();
+    uint64_t decoded = 0;
+    ASSERT_TRUE(varint::ReadU64(&in, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, MaxValueUsesTenBytes) {
+  ByteBuffer buf;
+  varint::AppendU64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), static_cast<size_t>(varint::kMaxLen64));
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  ByteBuffer buf;
+  varint::AppendU64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint64_t decoded = 0;
+    EXPECT_FALSE(varint::ReadU64(&in, &decoded)) << "cut at " << cut;
+  }
+}
+
+TEST(VarintTest, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(varint::ZigZagEncode(0), 0u);
+  EXPECT_EQ(varint::ZigZagEncode(-1), 1u);
+  EXPECT_EQ(varint::ZigZagEncode(1), 2u);
+  EXPECT_EQ(varint::ZigZagEncode(-2), 3u);
+  EXPECT_EQ(varint::ZigZagEncode(2), 4u);
+}
+
+TEST(VarintTest, SignedRoundTrip) {
+  std::vector<int64_t> values = {0, 1, -1, 1000, -1000,
+                                 std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) {
+    ByteBuffer buf;
+    varint::AppendI64(&buf, v);
+    Slice in = buf.AsSlice();
+    int64_t decoded = 0;
+    ASSERT_TRUE(varint::ReadI64(&in, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(VarintTest, RandomRoundTripSweep) {
+  Random random(2024);
+  ByteBuffer buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Cover all magnitudes by masking with a random width.
+    uint64_t v = random.Next() >> (random.Next() % 64);
+    values.push_back(v);
+    varint::AppendU64(&buf, v);
+  }
+  Slice in = buf.AsSlice();
+  for (uint64_t expected : values) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(varint::ReadU64(&in, &decoded));
+    EXPECT_EQ(decoded, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+}  // namespace
+}  // namespace scuba
