@@ -106,8 +106,9 @@ StatusOr<PathTimes> Measure(BenchEnv* env, uint64_t target_disk_bytes,
   return times;
 }
 
-int Run() {
+int Run(const std::string& json_path) {
   BenchEnv env("e4");
+  bench_util::JsonWriter json("disk_vs_shm");
   std::printf(
       "E4: disk recovery vs shared-memory recovery (paper §1/§6 headline)\n"
       "disk read throttled to %.0f MB/s to model the paper's disks; "
@@ -131,6 +132,13 @@ int Run() {
                 MiB(last.disk_file_bytes), last.disk_read_s,
                 last.disk_translate_s, disk_total, last.shm_s,
                 disk_total / last.shm_s);
+    json.Row();
+    json.Field("disk_file_bytes", last.disk_file_bytes);
+    json.Field("heap_bytes", last.heap_bytes);
+    json.Field("disk_read_seconds", last.disk_read_s);
+    json.Field("disk_translate_seconds", last.disk_translate_s);
+    json.Field("shm_seconds", last.shm_s);
+    json.Field("speedup", disk_total / last.shm_s);
   }
 
   // Extrapolate to the paper's machine: 120 GB on disk.
@@ -162,10 +170,14 @@ int Run() {
               (read_s + translate_s) / (shm_s + 60.0));
   std::printf("  translate/read ratio: %.1fx (paper: ~6-8x)\n",
               translate_s / read_s);
+
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   return 0;
 }
 
 }  // namespace
 }  // namespace scuba
 
-int main() { return scuba::Run(); }
+int main(int argc, char** argv) {
+  return scuba::Run(scuba::bench_util::JsonPathFromArgs(argc, argv));
+}

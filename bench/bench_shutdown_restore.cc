@@ -18,11 +18,13 @@ namespace {
 
 using bench_util::BenchEnv;
 using bench_util::FillLeafToBytes;
+using bench_util::JsonWriter;
 using bench_util::MiB;
 using bench_util::Rate;
 
-int Run() {
+int Run(const std::string& json_path) {
   BenchEnv env("e3");
+  JsonWriter json("shutdown_restore");
 
   std::printf("E3: shutdown/restore via shared memory (paper §4.3: copy out "
               "in 3-4 s for 10-15 GB)\n\n");
@@ -52,6 +54,14 @@ int Run() {
     std::printf("%10.0f %14.1f %14.2f %14.1f %14.2f\n", MiB(bytes),
                 sstats.elapsed_micros / 1000.0, last_out_rate / (1 << 30),
                 rstats.elapsed_micros / 1000.0, last_back_rate / (1 << 30));
+
+    json.Row();
+    json.Field("case", std::string("roundtrip"));
+    json.Field("leaf_bytes", bytes);
+    json.Field("shutdown_micros", sstats.elapsed_micros.load());
+    json.Field("shutdown_bytes_per_sec", last_out_rate);
+    json.Field("restore_micros", rstats.elapsed_micros.load());
+    json.Field("restore_bytes_per_sec", last_back_rate);
   }
 
   // Ablation: Fig 6's "estimate size of table". Underestimates pay
@@ -73,6 +83,11 @@ int Run() {
     std::printf("%18.2f %14.1f %14llu\n", factor,
                 sstats.elapsed_micros / 1000.0,
                 static_cast<unsigned long long>(sstats.segment_grow_count));
+    json.Row();
+    json.Field("case", std::string("estimate_ablation"));
+    json.Field("estimate_factor", factor);
+    json.Field("shutdown_micros", sstats.elapsed_micros.load());
+    json.Field("segment_grows", sstats.segment_grow_count.load());
     ShmSegment::RemoveAll("/" + env.prefix() + "_leaf_7_");
   }
 
@@ -82,10 +97,14 @@ int Run() {
               leaf_bytes / last_out_rate);
   std::printf("  restore copy-back: %5.1f s   (paper: \"a few seconds\")\n",
               leaf_bytes / last_back_rate);
+
+  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   return 0;
 }
 
 }  // namespace
 }  // namespace scuba
 
-int main() { return scuba::Run(); }
+int main(int argc, char** argv) {
+  return scuba::Run(scuba::bench_util::JsonPathFromArgs(argc, argv));
+}

@@ -4,7 +4,11 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "columnar/leaf_map.h"
 #include "ingest/row_generator.h"
@@ -20,15 +24,15 @@ class BenchEnv {
       : prefix_("scbench_" + std::to_string(getpid()) + "_" + tag),
         dir_("/tmp/" + prefix_) {
     ShmSegment::RemoveAll("/" + prefix_);
-    std::string cmd = "rm -rf " + dir_ + " && mkdir -p " + dir_;
-    if (std::system(cmd.c_str()) != 0) std::abort();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) std::abort();
   }
   ~BenchEnv() {
     ShmSegment::RemoveAll("/" + prefix_);
-    std::string cmd = "rm -rf " + dir_;
-    if (std::system(cmd.c_str()) != 0) {
-      // best effort
-    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // best effort
   }
 
   const std::string& prefix() const { return prefix_; }
@@ -82,6 +86,86 @@ inline double Rate(uint64_t bytes, int64_t micros) {
   return micros <= 0 ? 0.0
                      : static_cast<double>(bytes) /
                            (static_cast<double>(micros) / 1e6);
+}
+
+/// Minimal machine-readable bench output: a flat JSON document of the form
+///   {"bench": "<name>", "results": [{...}, {...}]}
+/// where each result row is a string->scalar map. Rows are built with
+/// Row()/Field() and the document written once at the end — enough for the
+/// plotting/CI scripts without dragging in a JSON library.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Starts a new result row.
+  void Row() { rows_.emplace_back(); }
+
+  void Field(const std::string& key, const std::string& value) {
+    Append(key, "\"" + Escaped(value) + "\"");
+  }
+  void Field(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    Append(key, os.str());
+  }
+  void Field(const std::string& key, uint64_t value) {
+    Append(key, std::to_string(value));
+  }
+  void Field(const std::string& key, int64_t value) {
+    Append(key, std::to_string(value));
+  }
+  void Field(const std::string& key, bool value) {
+    Append(key, value ? "true" : "false");
+  }
+
+  /// Writes the document; returns false (and prints to stderr) on failure.
+  bool WriteTo(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    out << "{\"bench\": \"" << Escaped(bench_name_) << "\", \"results\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{";
+      for (size_t f = 0; f < rows_[i].size(); ++f) {
+        if (f > 0) out << ", ";
+        out << "\"" << Escaped(rows_[i][f].first)
+            << "\": " << rows_[i][f].second;
+      }
+      out << "}";
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') r.push_back('\\');
+      r.push_back(c);
+    }
+    return r;
+  }
+  void Append(const std::string& key, std::string encoded) {
+    if (rows_.empty()) rows_.emplace_back();
+    rows_.back().emplace_back(key, std::move(encoded));
+  }
+
+  std::string bench_name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// Parses a `--json <path>` argument pair; returns "" when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
 }
 
 }  // namespace bench_util

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: build + test in Release, then rebuild the concurrency-sensitive
+# targets under ThreadSanitizer and run the core/shm/util suites (the
+# parallel copy engine's data-race surface).
+#
+# Usage: ci/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== Release build + full test suite ==="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j "${JOBS}"
+ctest --test-dir build-release --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== TSan build + core/shm/util suites ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCUBA_TSAN=ON \
+  >/dev/null
+cmake --build build-tsan -j "${JOBS}" \
+  --target util_test shm_test core_test
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata'
+
+echo
+echo "=== OK ==="

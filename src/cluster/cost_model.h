@@ -1,6 +1,7 @@
 #ifndef SCUBA_CLUSTER_COST_MODEL_H_
 #define SCUBA_CLUSTER_COST_MODEL_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace scuba {
@@ -39,6 +40,38 @@ struct CostModel {
   /// Fixed seconds of deployment tooling per whole-cluster rollover (§6
   /// attributes tens of minutes of the under-an-hour total to it).
   double deploy_overhead_seconds = 1500.0;
+
+  /// Threads in each leaf's parallel copy engine (shutdown/restore memcpy
+  /// and disk translate). 1 models the paper's serial loops.
+  size_t copy_threads = 1;
+  /// Fraction of linear scaling realized per extra copy thread (memcpy
+  /// streams contend for channels; translate contends for cores).
+  double parallel_copy_efficiency = 0.7;
+  /// Whole-machine memcpy bandwidth ceiling. One serial stream
+  /// (shm_copy_bytes_per_sec) cannot saturate a multi-channel memory
+  /// system; parallel copies approach this but never exceed it — and it is
+  /// shared by every leaf restarting on the machine (§4.2).
+  double machine_memory_bandwidth_bytes_per_sec = 12.0e9;
+
+  /// Speedup of one leaf's copy/translate phase from copy_threads.
+  double CopySpeedup() const {
+    if (copy_threads <= 1) return 1.0;
+    return 1.0 + static_cast<double>(copy_threads - 1) *
+                     parallel_copy_efficiency;
+  }
+  /// Per-leaf shm copy rate with `contention` leaves sharing the machine:
+  /// thread-scaled but capped by machine memory bandwidth.
+  double ShmCopyRate(double contention) const {
+    double rate = shm_copy_bytes_per_sec * CopySpeedup();
+    if (rate > machine_memory_bandwidth_bytes_per_sec) {
+      rate = machine_memory_bandwidth_bytes_per_sec;
+    }
+    return rate / contention;
+  }
+  /// Per-leaf disk translate rate (CPU-bound: scales with threads).
+  double DiskTranslateRate(double contention) const {
+    return disk_translate_bytes_per_sec * CopySpeedup() / contention;
+  }
 };
 
 }  // namespace scuba

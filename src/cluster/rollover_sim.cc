@@ -17,12 +17,14 @@ double LeafRestartSeconds(const RolloverSimConfig& config, RecoveryPath path,
   double bytes = static_cast<double>(config.bytes_per_leaf);
   double k = static_cast<double>(contention);
   if (path == RecoveryPath::kSharedMemory) {
-    // Copy out at shutdown + copy back at startup, both memcpy-bound.
-    double copy = 2.0 * bytes / (costs.shm_copy_bytes_per_sec / k);
+    // Copy out at shutdown + copy back at startup, both memcpy-bound;
+    // the parallel copy engine raises the per-leaf stream rate up to the
+    // machine bandwidth ceiling.
+    double copy = 2.0 * bytes / costs.ShmCopyRate(k);
     return copy + costs.per_leaf_fixed_seconds;
   }
   double read = bytes / (costs.disk_read_bytes_per_sec / k);
-  double translate = bytes / (costs.disk_translate_bytes_per_sec / k);
+  double translate = bytes / costs.DiskTranslateRate(k);
   return read + translate + costs.per_leaf_fixed_seconds;
 }
 

@@ -1,7 +1,7 @@
 #ifndef SCUBA_CORE_FOOTPRINT_H_
 #define SCUBA_CORE_FOOTPRINT_H_
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 namespace scuba {
@@ -9,21 +9,61 @@ namespace scuba {
 /// Tracks the peak combined footprint (heap bytes + shared memory bytes)
 /// during shutdown/restore. The paper's chunked, free-as-you-copy scheme
 /// (§4.4) keeps this peak within one row block column of the live data
-/// size; tests and bench_footprint assert that invariant.
+/// size; with the parallel copy engine the bound widens to the configured
+/// in-flight byte budget. Tests and bench_footprint/bench_parallel_copy
+/// assert those invariants.
+///
+/// Thread-safe: the parallel copy paths observe from every worker.
 class FootprintTracker {
  public:
   void Observe(uint64_t bytes) {
-    last_ = bytes;
-    peak_ = std::max(peak_, bytes);
+    last_.store(bytes, std::memory_order_relaxed);
+    uint64_t prev = peak_.load(std::memory_order_relaxed);
+    while (prev < bytes &&
+           !peak_.compare_exchange_weak(prev, bytes,
+                                        std::memory_order_relaxed)) {
+    }
   }
 
-  uint64_t peak() const { return peak_; }
-  uint64_t last() const { return last_; }
-  void Reset() { peak_ = last_ = 0; }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t last() const { return last_.load(std::memory_order_relaxed); }
+  void Reset() {
+    peak_.store(0, std::memory_order_relaxed);
+    last_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t peak_ = 0;
-  uint64_t last_ = 0;
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> last_{0};
+};
+
+/// Combined heap+shm byte counter shared by the copy workers: each worker
+/// adjusts it as it copies/frees and feeds the result to the tracker, so
+/// the observed footprint is consistent no matter which thread moved the
+/// bytes.
+class FootprintCounter {
+ public:
+  explicit FootprintCounter(uint64_t initial, FootprintTracker* tracker)
+      : bytes_(initial), tracker_(tracker) {
+    Observe(bytes_.load(std::memory_order_relaxed));
+  }
+
+  void Add(uint64_t delta) {
+    Observe(bytes_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  void Sub(uint64_t delta) {
+    Observe(bytes_.fetch_sub(delta, std::memory_order_relaxed) - delta);
+  }
+
+  uint64_t value() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  void Observe(uint64_t bytes) {
+    if (tracker_ != nullptr) tracker_->Observe(bytes);
+  }
+
+  std::atomic<uint64_t> bytes_;
+  FootprintTracker* tracker_;
 };
 
 }  // namespace scuba

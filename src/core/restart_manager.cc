@@ -36,6 +36,22 @@ RestartManager::RestartManager(RestartConfig config)
   config_.restore.leaf_id = config_.leaf_id;
   config_.shutdown.namespace_prefix = config_.namespace_prefix;
   config_.shutdown.leaf_id = config_.leaf_id;
+  // Fan the top-level thread count into each copy path, without clobbering
+  // a sub-option a caller tuned individually.
+  if (config_.num_copy_threads > 1) {
+    if (config_.restore.num_copy_threads <= 1) {
+      config_.restore.num_copy_threads = config_.num_copy_threads;
+    }
+    if (config_.shutdown.num_copy_threads <= 1) {
+      config_.shutdown.num_copy_threads = config_.num_copy_threads;
+    }
+    if (config_.disk.num_threads <= 1) {
+      config_.disk.num_threads = config_.num_copy_threads;
+    }
+    if (config_.columnar_disk.num_threads <= 1) {
+      config_.columnar_disk.num_threads = config_.num_copy_threads;
+    }
+  }
 }
 
 size_t RestartManager::ScrubSharedMemory() {

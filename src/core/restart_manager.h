@@ -46,6 +46,13 @@ struct RestartConfig {
   bool memory_recovery_enabled = true;
   /// Which on-disk backup format this leaf reads and writes.
   BackupFormatKind backup_format = BackupFormatKind::kRowMajor;
+  /// Copy/translate workers for every recovery and shutdown path; fanned
+  /// into restore.num_copy_threads, shutdown.num_copy_threads,
+  /// disk.num_threads and columnar_disk.num_threads by the constructor.
+  /// 1 keeps the paper's serial loops. Set the sub-options directly for
+  /// per-path control (the constructor only overwrites them when this is
+  /// > 1 and the sub-option is still at its default of 1).
+  size_t num_copy_threads = 1;
   /// Restore-side knobs.
   RestoreOptions restore;
   /// Disk-recovery knobs (throttle, limits).

@@ -1,27 +1,52 @@
 #include "core/restore.h"
 
+#include <atomic>
 #include <cstring>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "shm/leaf_metadata.h"
 #include "shm/table_segment.h"
 #include "util/clock.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace scuba {
 namespace {
 
+// Leaked /dev/shm segments are invisible to the process that leaked them;
+// a destroy failure must at least leave a trace for the operator.
+void DestroyAllSegmentsLogged(LeafMetadata* meta, const char* why) {
+  Status s = meta->DestroyAllSegments();
+  if (!s.ok()) {
+    SCUBA_WARN << "failed to destroy shm segments (" << why
+               << "); /dev/shm segments may be leaked: " << s.ToString();
+  }
+}
+
+// Copies one column out of a segment into a fresh heap buffer and parses
+// it (Fig 7's "allocate memory in heap; copy data from table segment to
+// heap" — a single memcpy thanks to offset-only addressing).
+StatusOr<std::unique_ptr<RowBlockColumn>> CopyColumnToHeap(
+    const uint8_t* src, size_t size, bool verify_checksums) {
+  std::unique_ptr<uint8_t[]> heap_buf(new uint8_t[size]);
+  std::memcpy(heap_buf.get(), src, size);
+  SCUBA_ASSIGN_OR_RETURN(
+      RowBlockColumn column,
+      RowBlockColumn::FromBuffer(std::move(heap_buf), size,
+                                 verify_checksums));
+  return std::make_unique<RowBlockColumn>(std::move(column));
+}
+
 // Restores one table segment into a fresh Table, draining row blocks from
-// the tail and truncating the segment as it goes.
+// the tail and truncating the segment as it goes. Serial Fig 7 path.
 Status RestoreTableSegment(const std::string& segment_name,
                            const RestoreOptions& options, LeafMap* leaf_map,
-                           RestoreStats* stats, uint64_t* heap_bytes,
-                           uint64_t* shm_bytes, FootprintTracker* tracker) {
+                           RestoreStats* stats, FootprintCounter* footprint) {
   SCUBA_ASSIGN_OR_RETURN(TableSegmentReader reader,
                          TableSegmentReader::Open(segment_name));
-  auto observe = [&]() {
-    if (tracker != nullptr) tracker->Observe(*heap_bytes + *shm_bytes);
-  };
 
   SCUBA_ASSIGN_OR_RETURN(
       Table * table,
@@ -40,20 +65,12 @@ Status RestoreTableSegment(const std::string& segment_name,
     std::vector<std::unique_ptr<RowBlockColumn>> columns(num_columns);
     for (size_t c = 0; c < num_columns; ++c) {
       Slice src = reader.ColumnSlice(rb, c);
-      // Fig 7: allocate memory in heap; copy data from table segment to
-      // heap — again a single memcpy thanks to offset-only addressing.
-      std::unique_ptr<uint8_t[]> heap_buf(new uint8_t[src.size()]);
-      std::memcpy(heap_buf.get(), src.data(), src.size());
-
       SCUBA_ASSIGN_OR_RETURN(
-          RowBlockColumn column,
-          RowBlockColumn::FromBuffer(std::move(heap_buf), src.size(),
-                                     options.verify_checksums));
-      columns[c] = std::make_unique<RowBlockColumn>(std::move(column));
-      *heap_bytes += src.size();
+          columns[c],
+          CopyColumnToHeap(src.data(), src.size(), options.verify_checksums));
+      footprint->Add(src.size());
       stats->bytes_copied += src.size();
       ++stats->columns_restored;
-      observe();
     }
 
     SCUBA_ASSIGN_OR_RETURN(
@@ -67,8 +84,7 @@ Status RestoreTableSegment(const std::string& segment_name,
     // drained tail's pages go back to the OS immediately.
     size_t before = reader.segment_bytes();
     SCUBA_RETURN_IF_ERROR(reader.TruncateTo(entry.block_offset));
-    *shm_bytes -= before - reader.segment_bytes();
-    observe();
+    footprint->Sub(before - reader.segment_bytes());
   }
 
   for (size_t i = reversed.size(); i-- > 0;) {
@@ -78,6 +94,193 @@ Status RestoreTableSegment(const std::string& segment_name,
   // Fig 7: delete the table shared memory segment.
   SCUBA_RETURN_IF_ERROR(reader.Unlink());
   ++stats->tables_restored;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel restore engine
+// ---------------------------------------------------------------------------
+
+// Per-segment state shared by the copy workers.
+struct SegmentRestoreJob {
+  explicit SegmentRestoreJob(TableSegmentReader r)
+      : reader(std::move(r)), base(reader.data()) {}
+
+  TableSegmentReader reader;
+  // Stable base of the mapping, captured before any task runs: truncation
+  // shrinks the mapping in place, so base + offset stays valid for every
+  // not-yet-drained block. Workers read through this instead of the reader
+  // so they never race with TruncateTo's internal bookkeeping.
+  const uint8_t* base = nullptr;
+  Table* table = nullptr;
+  std::vector<std::unique_ptr<RowBlock>> blocks;   // slot per block index
+  std::vector<uint64_t> payload_bytes;             // per block: column bytes
+
+  // Fig 7's truncate-as-you-drain under concurrency: a block's shm pages
+  // (and its byte budget) are released only once every block behind it —
+  // toward the segment tail — has also finished, so truncation remains
+  // strictly tail-ordered no matter how copies complete.
+  std::mutex mutex;
+  std::vector<uint8_t> done;
+  size_t drained = 0;
+};
+
+// Cross-segment control shared by every task.
+struct RestoreControl {
+  explicit RestoreControl(uint64_t budget_limit) : budget(budget_limit) {}
+
+  ByteBudget budget;
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  Status first_error;
+
+  void RecordError(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = std::move(s);
+    }
+    cancelled.store(true, std::memory_order_release);
+  }
+};
+
+// Copies block `rb` of `job` to the heap, verifying checksums if asked.
+Status CopyOneBlock(SegmentRestoreJob* job, size_t rb, bool verify_checksums,
+                    RestoreStats* stats, FootprintCounter* footprint) {
+  const TableSegmentReader::BlockEntry& entry = job->reader.block(rb);
+  const size_t num_columns = entry.columns.size();
+
+  std::vector<std::unique_ptr<RowBlockColumn>> columns(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    const auto& [offset, size] = entry.columns[c];
+    SCUBA_ASSIGN_OR_RETURN(
+        columns[c],
+        CopyColumnToHeap(job->base + offset, size, verify_checksums));
+    footprint->Add(size);
+    stats->bytes_copied += size;
+    ++stats->columns_restored;
+  }
+
+  SCUBA_ASSIGN_OR_RETURN(
+      job->blocks[rb],
+      RowBlock::FromParts(entry.meta.header, entry.meta.schema,
+                          std::move(columns)));
+  ++stats->row_blocks_restored;
+  return Status::OK();
+}
+
+// Terminal bookkeeping of one block task: mark it done and advance the
+// segment's tail watermark, truncating and releasing budget for every
+// newly contiguous drained block. Runs even when the task was skipped
+// after cancellation, so the budget always drains and the submitting
+// thread can never wedge in Acquire.
+void FinishBlock(SegmentRestoreJob* job, size_t rb, RestoreControl* ctl,
+                 FootprintCounter* footprint) {
+  std::lock_guard<std::mutex> lock(job->mutex);
+  job->done[rb] = 1;
+  const size_t n = job->reader.num_row_blocks();
+  while (job->drained < n && job->done[n - 1 - job->drained] != 0) {
+    size_t idx = n - 1 - job->drained;
+    if (!ctl->cancelled.load(std::memory_order_acquire)) {
+      size_t before = job->reader.segment_bytes();
+      Status s = job->reader.TruncateTo(job->reader.block(idx).block_offset);
+      if (s.ok()) {
+        footprint->Sub(before - job->reader.segment_bytes());
+      } else {
+        ctl->RecordError(std::move(s));
+      }
+    }
+    ctl->budget.Release(job->payload_bytes[idx]);
+    ++job->drained;
+  }
+}
+
+// Restores all table segments with a worker pool: copies fan out across
+// row blocks and across segments, budget-gated tail-first.
+Status RestoreSegmentsParallel(const std::vector<std::string>& segment_names,
+                               const RestoreOptions& options,
+                               LeafMap* leaf_map, RestoreStats* stats,
+                               FootprintCounter* footprint) {
+  const size_t threads = std::max<size_t>(1, options.num_copy_threads);
+
+  // Open every segment up front (mapping adds no physical memory — the
+  // pages already live in /dev/shm) to size the auto budget and create
+  // the tables.
+  std::vector<std::unique_ptr<SegmentRestoreJob>> jobs;
+  jobs.reserve(segment_names.size());
+  uint64_t max_block_bytes = 0;
+  for (const std::string& segment_name : segment_names) {
+    SCUBA_ASSIGN_OR_RETURN(TableSegmentReader reader,
+                           TableSegmentReader::Open(segment_name));
+    auto job = std::make_unique<SegmentRestoreJob>(std::move(reader));
+    SCUBA_ASSIGN_OR_RETURN(
+        job->table,
+        leaf_map->CreateTable(job->reader.table_name(), options.table_limits));
+    const size_t n = job->reader.num_row_blocks();
+    job->blocks.resize(n);
+    job->done.assign(n, 0);
+    job->payload_bytes.resize(n);
+    for (size_t rb = 0; rb < n; ++rb) {
+      uint64_t payload = 0;
+      for (const auto& [offset, size] : job->reader.block(rb).columns) {
+        (void)offset;
+        payload += size;
+      }
+      job->payload_bytes[rb] = payload;
+      max_block_bytes = std::max(max_block_bytes, payload);
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  uint64_t budget_limit = options.max_in_flight_bytes != 0
+                              ? options.max_in_flight_bytes
+                              : threads * max_block_bytes;
+  RestoreControl ctl(budget_limit);
+  const bool verify = options.verify_checksums;
+
+  {
+    // Scoped so the pool drains and joins before jobs/ctl are destroyed,
+    // including on the cancellation path.
+    ThreadPool pool(threads);
+    for (auto& job_ptr : jobs) {
+      SegmentRestoreJob* job = job_ptr.get();
+      const size_t n = job->reader.num_row_blocks();
+      // Tail-first submission + tail-first budget acquisition: the block
+      // at the truncation watermark always holds budget already, so
+      // workers cluster near the drain frontier and the footprint bound
+      // follows from the budget alone.
+      for (size_t rb = n; rb-- > 0;) {
+        if (ctl.cancelled.load(std::memory_order_acquire)) break;
+        ctl.budget.Acquire(job->payload_bytes[rb]);
+        pool.Submit([job, rb, &ctl, stats, footprint, verify] {
+          if (!ctl.cancelled.load(std::memory_order_acquire)) {
+            Status s = CopyOneBlock(job, rb, verify, stats, footprint);
+            if (!s.ok()) ctl.RecordError(std::move(s));
+          }
+          FinishBlock(job, rb, &ctl, footprint);
+        });
+      }
+      if (ctl.cancelled.load(std::memory_order_acquire)) break;
+    }
+    pool.Wait();
+  }
+
+  if (ctl.cancelled.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(ctl.error_mutex);
+    return ctl.first_error.ok()
+               ? Status::Internal("parallel restore cancelled")
+               : ctl.first_error;
+  }
+
+  // All copies landed; adopt in original block order and delete the
+  // segments (Fig 7).
+  for (auto& job_ptr : jobs) {
+    SegmentRestoreJob* job = job_ptr.get();
+    for (auto& block : job->blocks) {
+      job->table->AdoptRowBlock(std::move(block));
+    }
+    SCUBA_RETURN_IF_ERROR(job->reader.Unlink());
+    ++stats->tables_restored;
+  }
   return Status::OK();
 }
 
@@ -105,13 +308,13 @@ Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
 
   // Fig 7: if valid bit is false -> delete segments, recover from disk.
   if (!meta.valid()) {
-    meta.DestroyAllSegments().ok();
+    DestroyAllSegmentsLogged(&meta, "valid bit false");
     return Status::FailedPrecondition(
         "shared memory valid bit is false (crash or interrupted restore)");
   }
   // Layout version mismatch: the new binary cannot interpret the segments.
   if (meta.layout_version() != kShmLayoutVersion) {
-    meta.DestroyAllSegments().ok();
+    DestroyAllSegmentsLogged(&meta, "layout version mismatch");
     return Status::FailedPrecondition(
         "shared memory layout version mismatch: segment v" +
         std::to_string(meta.layout_version()) + " vs binary v" +
@@ -122,22 +325,30 @@ Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
   // on, the next restart will take the disk path.
   SCUBA_RETURN_IF_ERROR(meta.SetValid(false));
 
-  uint64_t heap_bytes = 0;
-  uint64_t shm_bytes =
+  FootprintCounter footprint(
       TotalShmBytes("/" + options.namespace_prefix + "_leaf_" +
-                    std::to_string(options.leaf_id) + "_");
-  if (tracker != nullptr) tracker->Observe(heap_bytes + shm_bytes);
+                    std::to_string(options.leaf_id) + "_"),
+      tracker);
 
-  for (const std::string& segment_name : meta.table_segment_names()) {
-    Status s = RestoreTableSegment(segment_name, options, leaf_map, stats,
-                                   &heap_bytes, &shm_bytes, tracker);
-    if (!s.ok()) {
-      SCUBA_WARN << "memory recovery failed on segment " << segment_name
-                 << ": " << s.ToString() << "; falling back to disk";
-      meta.DestroyAllSegments().ok();
-      leaf_map->Clear();
-      return Status::Corruption("memory recovery failed: " + s.ToString());
+  Status restore_status;
+  if (options.num_copy_threads > 1 && !meta.table_segment_names().empty()) {
+    restore_status = RestoreSegmentsParallel(meta.table_segment_names(),
+                                             options, leaf_map, stats,
+                                             &footprint);
+  } else {
+    for (const std::string& segment_name : meta.table_segment_names()) {
+      restore_status = RestoreTableSegment(segment_name, options, leaf_map,
+                                           stats, &footprint);
+      if (!restore_status.ok()) break;
     }
+  }
+  if (!restore_status.ok()) {
+    SCUBA_WARN << "memory recovery failed: " << restore_status.ToString()
+               << "; falling back to disk";
+    DestroyAllSegmentsLogged(&meta, "restore failed mid-way");
+    leaf_map->Clear();
+    return Status::Corruption("memory recovery failed: " +
+                              restore_status.ToString());
   }
 
   // Fig 7: delete the metadata shared memory segment.
@@ -146,7 +357,9 @@ Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
   stats->elapsed_micros = watch.ElapsedMicros();
   SCUBA_INFO << "restore-from-shm: " << stats->tables_restored << " tables, "
              << stats->bytes_copied << " bytes in "
-             << stats->elapsed_micros / 1000 << " ms";
+             << stats->elapsed_micros / 1000 << " ms ("
+             << std::max<size_t>(1, options.num_copy_threads)
+             << (options.num_copy_threads > 1 ? " threads)" : " thread)");
   return Status::OK();
 }
 

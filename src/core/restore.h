@@ -1,6 +1,7 @@
 #ifndef SCUBA_CORE_RESTORE_H_
 #define SCUBA_CORE_RESTORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -20,15 +21,37 @@ struct RestoreOptions {
   bool verify_checksums = true;
   /// Retention limits applied to restored tables.
   TableLimits table_limits;
+  /// Copy workers for the shm->heap memcpy + checksum fan-out; work is
+  /// spread across row blocks and across table segments. 1 keeps the
+  /// paper's serial Fig 7 loop.
+  size_t num_copy_threads = 1;
+  /// Cap on bytes copied to heap whose shm pages have not yet been
+  /// truncated away. Truncation is tail-ordered per segment, so the unit
+  /// of release is a row block. 0 = auto: num_copy_threads x the largest
+  /// row block payload.
+  uint64_t max_in_flight_bytes = 0;
 };
 
-/// Counters from one restore.
+/// Counters from one restore. Fields are atomics because the parallel
+/// copy engine updates them from every worker; copying the struct takes a
+/// snapshot.
 struct RestoreStats {
-  uint64_t tables_restored = 0;
-  uint64_t row_blocks_restored = 0;
-  uint64_t columns_restored = 0;
-  uint64_t bytes_copied = 0;
-  int64_t elapsed_micros = 0;
+  std::atomic<uint64_t> tables_restored{0};
+  std::atomic<uint64_t> row_blocks_restored{0};
+  std::atomic<uint64_t> columns_restored{0};
+  std::atomic<uint64_t> bytes_copied{0};
+  std::atomic<int64_t> elapsed_micros{0};
+
+  RestoreStats() = default;
+  RestoreStats(const RestoreStats& other) { *this = other; }
+  RestoreStats& operator=(const RestoreStats& other) {
+    tables_restored = other.tables_restored.load();
+    row_blocks_restored = other.row_blocks_restored.load();
+    columns_restored = other.columns_restored.load();
+    bytes_copied = other.bytes_copied.load();
+    elapsed_micros = other.elapsed_micros.load();
+    return *this;
+  }
 };
 
 /// Restores a leaf's tables from shared memory into `leaf_map`, following
@@ -60,6 +83,15 @@ struct RestoreStats {
 /// Row blocks are drained tail-first so the segment can be truncated as it
 /// empties, mirroring the shutdown path's flat memory footprint (§4.4);
 /// block order within each table is preserved in the rebuilt state.
+///
+/// With options.num_copy_threads > 1 block copies (and checksum verifies)
+/// fan out over a worker pool, across row blocks and across table
+/// segments. The valid-bit / truncate-as-you-drain protocol is preserved:
+/// a ByteBudget is acquired tail-first before each block is dispatched,
+/// and each segment is truncated only up to the contiguous run of
+/// completed blocks at its tail (a per-segment watermark), releasing that
+/// run's budget. Segment truncation shrinks the mapping in place, so
+/// workers copying earlier blocks never see the base address move.
 Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
                       RestoreStats* stats, FootprintTracker* tracker = nullptr);
 

@@ -1,11 +1,14 @@
 #include "core/shutdown.h"
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "shm/leaf_metadata.h"
 #include "shm/table_segment.h"
 #include "util/clock.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace scuba {
 namespace {
@@ -14,6 +17,33 @@ std::string TableSegmentName(const ShutdownOptions& options, size_t index) {
   return "/" + options.namespace_prefix + "_leaf_" +
          std::to_string(options.leaf_id) + "_table_" + std::to_string(index);
 }
+
+// Largest single RBC buffer in the leaf — the unit of the §4.4 footprint
+// overshoot, and the auto-budget multiplier.
+uint64_t MaxColumnBytes(const LeafMap& leaf_map) {
+  uint64_t max_column = 0;
+  for (const std::string& name : leaf_map.TableNames()) {
+    const Table* table = leaf_map.GetTable(name);
+    for (size_t b = 0; b < table->num_row_blocks(); ++b) {
+      const RowBlock* block = table->row_block(b);
+      if (block == nullptr) continue;
+      for (size_t c = 0; c < block->num_columns(); ++c) {
+        if (block->column(c) != nullptr) {
+          max_column = std::max(max_column, block->column(c)->total_bytes());
+        }
+      }
+    }
+  }
+  return max_column;
+}
+
+// One table's shm segment plus what is needed to seal and free it after
+// the copy fan-out completes.
+struct TableCopyJob {
+  std::unique_ptr<TableSegmentWriter> writer;
+  std::string table_name;
+  uint64_t num_blocks = 0;
+};
 
 }  // namespace
 
@@ -30,18 +60,33 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
         leaf_map->GetTable(name)->SealWriteBuffer(options.now));
   }
 
-  // Heap-side byte accounting, decremented as columns are freed.
-  uint64_t heap_bytes = leaf_map->TotalMemoryBytes();
-  uint64_t shm_bytes = 0;
-  auto observe = [&]() {
-    if (tracker != nullptr) tracker->Observe(heap_bytes + shm_bytes);
-  };
-  observe();
+  // Combined heap+shm accounting, shared by all copy workers.
+  FootprintCounter footprint(leaf_map->TotalMemoryBytes(), tracker);
 
   // Fig 6 step 1-2: metadata segment with valid=false.
   SCUBA_ASSIGN_OR_RETURN(
       LeafMetadata meta,
       LeafMetadata::Create(options.namespace_prefix, options.leaf_id));
+
+  // In-flight budget: bytes copied to shm whose heap column has not been
+  // freed yet. Serial mode needs none — the Fig 6 loop frees each column
+  // right after its copy, so the overshoot is exactly one column.
+  const size_t threads = std::max<size_t>(1, options.num_copy_threads);
+  uint64_t budget_limit = 0;
+  if (threads > 1) {
+    budget_limit = options.max_in_flight_bytes != 0
+                       ? options.max_in_flight_bytes
+                       : threads * MaxColumnBytes(*leaf_map);
+  }
+  ByteBudget budget(budget_limit);
+
+  // Destruction order matters on early return: the pool (declared last)
+  // drains and joins first, so queued tasks never outlive the writers,
+  // tables, budget, or footprint counter they reference.
+  std::vector<TableCopyJob> jobs;
+  jobs.reserve(table_names.size());
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
   for (size_t t = 0; t < table_names.size(); ++t) {
     Table* table = leaf_map->GetTable(table_names[t]);
@@ -56,54 +101,98 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
         TableSegmentWriter writer,
         TableSegmentWriter::Create(segment_name, table->name(), estimate));
     SCUBA_RETURN_IF_ERROR(meta.AddTableSegment(segment_name));
-    shm_bytes += writer.used_bytes();
 
-    uint64_t blocks = table->num_row_blocks();
-    for (size_t b = 0; b < blocks; ++b) {
-      const RowBlock* block = table->row_block(b);
-      SCUBA_RETURN_IF_ERROR(writer.AppendRowBlockMeta(*block));
+    jobs.push_back(TableCopyJob{
+        std::make_unique<TableSegmentWriter>(std::move(writer)),
+        table_names[t], table->num_row_blocks()});
+    TableCopyJob& job = jobs.back();
+    TableSegmentWriter* w = job.writer.get();
+    footprint.Add(w->used_bytes());
+
+    // Reserve the whole table's layout serially — reservation may grow
+    // (remap) the segment, so it must finish before this segment's copies
+    // start. Copies then write to disjoint, stable offsets.
+    for (uint64_t b = 0; b < job.num_blocks; ++b) {
+      RowBlock* block = table->mutable_row_block(b);
+      SCUBA_RETURN_IF_ERROR(w->AppendRowBlockMeta(*block));
 
       const size_t num_columns = block->num_columns();
+      std::vector<size_t> offsets(num_columns);
       for (size_t c = 0; c < num_columns; ++c) {
-        const RowBlockColumn* column = block->column(c);
-        uint64_t column_bytes = column->total_bytes();
-        // Fig 6: copy data from heap to the table segment (ONE memcpy —
-        // offsets, not pointers, make the buffer position-independent).
-        SCUBA_RETURN_IF_ERROR(writer.AppendColumnBuffer(column->AsSlice()));
-        shm_bytes += column_bytes;
-        ++stats->columns_copied;
-        stats->bytes_copied += column_bytes;
+        SCUBA_ASSIGN_OR_RETURN(
+            offsets[c],
+            w->ReserveColumnSlot(block->column(c)->total_bytes()));
+      }
 
-        if (options.free_incrementally) {
-          // Fig 6: delete row block column from heap.
-          table->mutable_row_block(b)->ReleaseColumn(c).reset();
-          heap_bytes -= column_bytes;
+      // Fig 6 inner loop for one row block: copy each column (ONE memcpy —
+      // offsets, not pointers, make the buffer position-independent), then
+      // delete it from the heap.
+      auto copy_block = [w, block, offsets = std::move(offsets), &budget,
+                         &footprint, stats,
+                         free_incrementally = options.free_incrementally] {
+        for (size_t c = 0; c < offsets.size(); ++c) {
+          const RowBlockColumn* column = block->column(c);
+          uint64_t column_bytes = column->total_bytes();
+          budget.Acquire(column_bytes);
+          w->CopyIntoSlot(offsets[c], column->AsSlice());
+          footprint.Add(column_bytes);
+          ++stats->columns_copied;
+          stats->bytes_copied += column_bytes;
+          if (free_incrementally) {
+            // Fig 6: delete row block column from heap.
+            block->ReleaseColumn(c).reset();
+            footprint.Sub(column_bytes);
+          }
+          budget.Release(column_bytes);
         }
-        observe();
+        ++stats->row_blocks_copied;
+      };
+      if (pool != nullptr) {
+        pool->Submit(std::move(copy_block));
+      } else {
+        copy_block();
       }
-      if (options.free_incrementally) {
-        // Fig 6: delete row block from heap.
-        table->ReleaseRowBlock(b).reset();
-      }
-      ++stats->row_blocks_copied;
     }
-    stats->segment_grow_count += writer.grow_count();
-    SCUBA_RETURN_IF_ERROR(writer.Finish(blocks));
 
-    // Fig 6: delete table from heap.
-    if (options.free_incrementally) {
-      leaf_map->ReleaseTable(table_names[t]).reset();
+    if (pool == nullptr) {
+      // Serial mode: seal and free this table before moving to the next,
+      // exactly the Fig 6 ordering.
+      stats->segment_grow_count += w->grow_count();
+      SCUBA_RETURN_IF_ERROR(w->Finish(job.num_blocks));
+      if (options.free_incrementally) {
+        for (uint64_t b = 0; b < job.num_blocks; ++b) {
+          // Fig 6: delete row block from heap (columns already freed).
+          table->ReleaseRowBlock(b).reset();
+        }
+        // Fig 6: delete table from heap.
+        leaf_map->ReleaseTable(table_names[t]).reset();
+      }
+      ++stats->tables_copied;
     }
-    ++stats->tables_copied;
+  }
+
+  if (pool != nullptr) {
+    pool->Wait();
+    for (TableCopyJob& job : jobs) {
+      stats->segment_grow_count += job.writer->grow_count();
+      SCUBA_RETURN_IF_ERROR(job.writer->Finish(job.num_blocks));
+      if (options.free_incrementally) {
+        Table* table = leaf_map->GetTable(job.table_name);
+        for (uint64_t b = 0; b < job.num_blocks; ++b) {
+          table->ReleaseRowBlock(b).reset();
+        }
+        leaf_map->ReleaseTable(job.table_name).reset();
+      }
+      ++stats->tables_copied;
+    }
   }
 
   // Naive (non-paper) strategy frees everything only now.
   if (!options.free_incrementally) {
     for (const std::string& name : table_names) {
       Table* table = leaf_map->GetTable(name);
-      heap_bytes -= table->MemoryBytes();
+      footprint.Sub(table->MemoryBytes());
       leaf_map->ReleaseTable(name).reset();
-      observe();
     }
   }
 
@@ -114,7 +203,8 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
   stats->elapsed_micros = watch.ElapsedMicros();
   SCUBA_INFO << "shutdown-to-shm: " << stats->tables_copied << " tables, "
              << stats->bytes_copied << " bytes in "
-             << stats->elapsed_micros / 1000 << " ms";
+             << stats->elapsed_micros / 1000 << " ms ("
+             << threads << (threads == 1 ? " thread)" : " threads)");
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SCUBA_CORE_SHUTDOWN_H_
 #define SCUBA_CORE_SHUTDOWN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -26,16 +27,39 @@ struct ShutdownOptions {
   bool free_incrementally = true;
   /// Unix timestamp used if a non-empty write buffer must be sealed.
   int64_t now = 0;
+  /// Copy workers for the heap->shm memcpy fan-out (§4.2: restart speed is
+  /// a memory-bandwidth problem; one stream does not saturate it). 1 keeps
+  /// the paper's serial Fig 6 loop.
+  size_t num_copy_threads = 1;
+  /// Cap on bytes copied to shm but not yet freed from the heap — the
+  /// amount by which the footprint may exceed the live data size (§4.4
+  /// widened for parallelism). 0 = auto: num_copy_threads x the largest
+  /// row block column.
+  uint64_t max_in_flight_bytes = 0;
 };
 
-/// Counters from one shutdown.
+/// Counters from one shutdown. Fields are atomics because the parallel
+/// copy engine updates them from every worker; copying the struct takes a
+/// (racy-free, quiescent-time) snapshot.
 struct ShutdownStats {
-  uint64_t tables_copied = 0;
-  uint64_t row_blocks_copied = 0;
-  uint64_t columns_copied = 0;
-  uint64_t bytes_copied = 0;
-  uint64_t segment_grow_count = 0;
-  int64_t elapsed_micros = 0;
+  std::atomic<uint64_t> tables_copied{0};
+  std::atomic<uint64_t> row_blocks_copied{0};
+  std::atomic<uint64_t> columns_copied{0};
+  std::atomic<uint64_t> bytes_copied{0};
+  std::atomic<uint64_t> segment_grow_count{0};
+  std::atomic<int64_t> elapsed_micros{0};
+
+  ShutdownStats() = default;
+  ShutdownStats(const ShutdownStats& other) { *this = other; }
+  ShutdownStats& operator=(const ShutdownStats& other) {
+    tables_copied = other.tables_copied.load();
+    row_blocks_copied = other.row_blocks_copied.load();
+    columns_copied = other.columns_copied.load();
+    bytes_copied = other.bytes_copied.load();
+    segment_grow_count = other.segment_grow_count.load();
+    elapsed_micros = other.elapsed_micros.load();
+    return *this;
+  }
 };
 
 /// Backs up all of `leaf_map`'s tables into shared memory segments and
@@ -57,6 +81,15 @@ struct ShutdownStats {
 /// On failure the metadata's valid bit stays false, so the next start
 /// falls back to disk recovery. The caller (leaf server) must have drained
 /// in-flight work and flushed backups first (Fig 5c PREPARE).
+///
+/// With options.num_copy_threads > 1 the per-column copies fan out over a
+/// worker pool: each table's segment layout is reserved up front (offsets
+/// are computed serially, so the mapping never moves under a worker), then
+/// the column memcpys run in parallel, each freeing its heap column the
+/// moment it lands. A ByteBudget bounds copied-but-not-yet-freed bytes so
+/// the §4.4 footprint invariant holds with the budget in place of "one row
+/// block column". The valid bit is still set only after every worker has
+/// finished and every segment is sealed.
 ///
 /// `tracker` (optional) observes heap+shm footprint after every column.
 Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,

@@ -1,9 +1,13 @@
 #include "disk/backup_reader.h"
 
+#include <memory>
+#include <mutex>
+
 #include "disk/backup_format.h"
 #include "disk/file.h"
 #include "util/clock.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace scuba {
 
@@ -53,14 +57,41 @@ Status BackupReader::RecoverLeaf(const std::string& dir, LeafMap* leaf_map,
                                  Stats* stats) {
   SCUBA_ASSIGN_OR_RETURN(std::vector<std::string> files,
                          ListFiles(dir, ".bak"));
+
+  // Create all tables serially (LeafMap is not thread-safe), then fan the
+  // per-table read+translate out: tables are independent, so this is the
+  // disk path's parallel copy engine.
+  std::vector<Table*> tables;
+  tables.reserve(files.size());
   for (const std::string& file : files) {
     std::string table_name = file.substr(0, file.size() - 4);
     SCUBA_ASSIGN_OR_RETURN(
         Table * table,
         leaf_map->CreateTable(table_name, options.table_limits));
-    SCUBA_RETURN_IF_ERROR(
-        RecoverTable(dir + "/" + file, table, options, now, stats));
+    tables.push_back(table);
   }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1 && files.size() > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  std::mutex stats_mutex;
+  SCUBA_RETURN_IF_ERROR(ParallelFor(
+      pool.get(), files.size(), [&](size_t i) -> Status {
+        Stats local;
+        Status s = RecoverTable(dir + "/" + files[i], tables[i], options, now,
+                                pool != nullptr ? &local : stats);
+        if (pool != nullptr) {
+          std::lock_guard<std::mutex> lock(stats_mutex);
+          stats->bytes_read += local.bytes_read;
+          stats->rows_recovered += local.rows_recovered;
+          stats->tables_recovered += local.tables_recovered;
+          stats->records_dropped += local.records_dropped;
+          stats->read_micros += local.read_micros;
+          stats->translate_micros += local.translate_micros;
+        }
+        return s;
+      }));
   return Status::OK();
 }
 

@@ -13,6 +13,8 @@
 
 namespace scuba {
 
+class ThreadPool;
+
 /// The paper's §6 future work, implemented: "One large overhead in Scuba's
 /// disk recovery is translating from the disk format to the heap memory
 /// format. ... We are planning to use the shared memory format described
@@ -96,6 +98,10 @@ class ColumnarBackupReader {
     /// Verify each adopted column's CRC32C (structural checks always run).
     bool verify_checksums = false;
     TableLimits table_limits;
+    /// Workers for the translate phase. RecoverLeaf fans out across tables
+    /// when there are several; with a single table the pool parallelizes
+    /// block parsing inside it instead. 1 keeps the serial loops.
+    size_t num_threads = 1;
   };
 
   struct Stats {
@@ -110,10 +116,14 @@ class ColumnarBackupReader {
     int64_t translate_micros = 0;   // memcpy adoption + tail replay
   };
 
-  /// Recovers one table from its .cols + matching tail.
+  /// Recovers one table from its .cols + matching tail. With a non-null
+  /// `pool`, block payloads are parsed (memcpy + checksum) in parallel;
+  /// the stop-at-first-corrupt-record semantics are preserved by adopting
+  /// only the contiguous prefix of blocks that parsed cleanly, in order.
+  /// The pool must not be one this call is itself running on.
   static Status RecoverTable(const std::string& dir, const std::string& table,
                              Table* out, const Options& options, int64_t now,
-                             Stats* stats);
+                             Stats* stats, ThreadPool* pool = nullptr);
 
   /// Recovers every "<name>.cols" table under `dir` into `leaf_map`.
   static Status RecoverLeaf(const std::string& dir, LeafMap* leaf_map,

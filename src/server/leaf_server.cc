@@ -21,6 +21,9 @@ RestartConfig MakeRestartConfig(const LeafServerConfig& config) {
   rc.columnar_disk.throttle_bytes_per_sec = config.disk_throttle_bytes_per_sec;
   rc.columnar_disk.verify_checksums = config.verify_checksums_on_restore;
   rc.columnar_disk.table_limits = config.default_table_limits;
+  rc.num_copy_threads = config.num_copy_threads;
+  rc.restore.max_in_flight_bytes = config.max_in_flight_copy_bytes;
+  rc.shutdown.max_in_flight_bytes = config.max_in_flight_copy_bytes;
   return rc;
 }
 
@@ -259,7 +262,7 @@ LeafServer::Stats LeafServer::GetStats() const {
   stats.last_recovery_source = last_recovery_.source;
   stats.last_recovery_micros =
       last_recovery_.source == RecoverySource::kSharedMemory
-          ? last_recovery_.shm_stats.elapsed_micros
+          ? last_recovery_.shm_stats.elapsed_micros.load()
           : last_recovery_.disk_stats.read_micros +
                 last_recovery_.disk_stats.translate_micros +
                 last_recovery_.columnar_stats.read_micros +

@@ -41,6 +41,14 @@ struct LeafServerConfig {
   uint64_t disk_throttle_bytes_per_sec = 0;
   /// Verify RBC checksums during memory recovery.
   bool verify_checksums_on_restore = true;
+  /// Copy/translate workers for shutdown-to-shm, restore-from-shm, and
+  /// disk recovery (the parallel copy engine). 1 keeps the paper's serial
+  /// loops; ingest/query serving is unaffected either way.
+  size_t num_copy_threads = 1;
+  /// Cap on in-flight bytes for the parallel copy paths (§4.4's footprint
+  /// invariant, widened from one row-block-column to this budget). 0 =
+  /// auto: num_copy_threads x the largest copy unit.
+  uint64_t max_in_flight_copy_bytes = 0;
   /// Time source (simulated in tests; real otherwise).
   Clock* clock = nullptr;
 };

@@ -172,7 +172,11 @@ Status ShmSegment::Grow(size_t new_size) {
 Status ShmSegment::Truncate(size_t new_size) {
   if (new_size >= size_) return Status::OK();
   if (new_size == 0) new_size = 1;  // Keep a valid mapping.
-  void* fresh = mremap(addr_, size_, new_size, MREMAP_MAYMOVE);
+  // Shrink WITHOUT MREMAP_MAYMOVE: a shrinking remap just unmaps the tail
+  // pages, so the base address is stable. The parallel restore path
+  // depends on this — workers keep memcpy'ing from offsets below the
+  // truncation point while the drained tail is returned to the OS.
+  void* fresh = mremap(addr_, size_, new_size, 0);
   if (fresh == MAP_FAILED) {
     return Status::IOError(ErrnoMessage("mremap (truncate)", name_));
   }

@@ -59,7 +59,9 @@ class ShmSegment {
   Status Grow(size_t new_size);
 
   /// Shrinks the segment to `new_size`, returning the freed pages to the
-  /// OS (restore truncates the segment as it drains it, Fig 7).
+  /// OS (restore truncates the segment as it drains it, Fig 7). The
+  /// mapping shrinks in place — data() stays valid for offsets below
+  /// new_size, which the parallel restore path relies on.
   Status Truncate(size_t new_size);
 
   /// Flushes mapped pages (msync). Shared memory on tmpfs does not need

@@ -65,11 +65,21 @@ Status TableSegmentWriter::AppendRowBlockMeta(const RowBlock& block) {
 }
 
 Status TableSegmentWriter::AppendColumnBuffer(Slice rbc_buffer) {
-  SCUBA_RETURN_IF_ERROR(EnsureRoom(rbc_buffer.size() + 8));
-  std::memcpy(segment_.data() + cursor_, rbc_buffer.data(),
-              rbc_buffer.size());
-  cursor_ = AlignUp8(cursor_ + rbc_buffer.size());
+  SCUBA_ASSIGN_OR_RETURN(size_t offset,
+                         ReserveColumnSlot(rbc_buffer.size()));
+  CopyIntoSlot(offset, rbc_buffer);
   return Status::OK();
+}
+
+StatusOr<size_t> TableSegmentWriter::ReserveColumnSlot(size_t bytes) {
+  SCUBA_RETURN_IF_ERROR(EnsureRoom(bytes + 8));
+  size_t offset = cursor_;
+  cursor_ = AlignUp8(cursor_ + bytes);
+  return offset;
+}
+
+void TableSegmentWriter::CopyIntoSlot(size_t offset, Slice rbc_buffer) {
+  std::memcpy(segment_.data() + offset, rbc_buffer.data(), rbc_buffer.size());
 }
 
 Status TableSegmentWriter::Finish(uint64_t num_row_blocks) {

@@ -47,6 +47,15 @@ class TableSegmentWriter {
   /// row block column into shared memory.
   Status AppendColumnBuffer(Slice rbc_buffer);
 
+  /// Parallel-shutdown variant of AppendColumnBuffer, split in two:
+  /// ReserveColumnSlot advances the cursor (growing the segment if needed)
+  /// and returns the offset where the buffer belongs; CopyIntoSlot does
+  /// the memcpy. All reservations for a segment must happen before its
+  /// copies start — reservation may remap the segment, copying never does,
+  /// so concurrent CopyIntoSlot calls (distinct slots) are safe.
+  StatusOr<size_t> ReserveColumnSlot(size_t bytes);
+  void CopyIntoSlot(size_t offset, Slice rbc_buffer);
+
   /// Patches the row block count and used size, shrinks the segment to its
   /// used size, and closes it (the segment object persists in /dev/shm).
   Status Finish(uint64_t num_row_blocks);
@@ -86,6 +95,11 @@ class TableSegmentReader {
   TableSegmentReader& operator=(TableSegmentReader&&) noexcept = default;
 
   const std::string& table_name() const { return table_name_; }
+  /// Base of the mapping. Truncation shrinks the mapping in place, so the
+  /// base stays valid for offsets below the truncation point — the
+  /// parallel restore path captures it once and addresses columns as
+  /// base + offset while the tail is being drained.
+  const uint8_t* data() const { return segment_.data(); }
   size_t num_row_blocks() const { return blocks_.size(); }
   const BlockEntry& block(size_t i) const { return blocks_[i]; }
   uint64_t used_bytes() const { return used_bytes_; }

@@ -1,0 +1,115 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace scuba {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    Status first;
+    for (size_t i = 0; i < n; ++i) {
+      Status s = fn(i);
+      if (!s.ok() && first.ok()) first = std::move(s);
+    }
+    return first;
+  }
+
+  // All iterations run even after a failure (callers rely on every item
+  // reaching a terminal state for budget/watermark accounting); only the
+  // first error is kept.
+  struct Shared {
+    std::mutex mutex;
+    Status first_error;
+  };
+  auto shared = std::make_shared<Shared>();
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([fn, i, shared] {
+      Status s = fn(i);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (shared->first_error.ok()) shared->first_error = std::move(s);
+      }
+    });
+  }
+  pool->Wait();
+  std::lock_guard<std::mutex> lock(shared->mutex);
+  return shared->first_error;
+}
+
+void ByteBudget::Acquire(uint64_t bytes) {
+  if (limit_ == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this, bytes] {
+    return in_flight_bytes_ + bytes <= limit_ || in_flight_bytes_ == 0;
+  });
+  in_flight_bytes_ += bytes;
+}
+
+void ByteBudget::Release(uint64_t bytes) {
+  if (limit_ == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_bytes_ -= std::min(bytes, in_flight_bytes_);
+  }
+  cv_.notify_all();
+}
+
+uint64_t ByteBudget::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_bytes_;
+}
+
+}  // namespace scuba

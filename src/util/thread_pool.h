@@ -1,0 +1,100 @@
+#ifndef SCUBA_UTIL_THREAD_POOL_H_
+#define SCUBA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scuba {
+
+/// A fixed-size worker pool for the restart copy engine (§4.2: "recovery
+/// using shared memory is ... limited only by memory bandwidth" — one
+/// memcpy stream cannot saturate a multi-channel memory system, so the
+/// shutdown/restore/disk-translate hot paths fan their copies out over N
+/// workers).
+///
+/// Tasks are run in FIFO submission order; the copy paths rely on this to
+/// keep workers near the drain frontier (restore truncates segments from
+/// the tail, so tail-most blocks are submitted — and therefore started —
+/// first).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals workers: task or shutdown
+  std::condition_variable idle_cv_;   // signals Wait(): everything drained
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(0..n-1) across `pool` and blocks until all calls finish; the
+/// first non-OK status (lowest index wins on ties is NOT guaranteed) is
+/// returned after every call has completed. With a null pool (or n <= 1)
+/// the calls run inline on the caller's thread — callers pass nullptr for
+/// the single-threaded configuration so the serial path stays allocation-
+/// and lock-free.
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn);
+
+/// Counting semaphore over bytes: bounds how much data the parallel copy
+/// engine holds "in flight" (copied to the destination but not yet freed
+/// from the source), which is exactly the amount by which the restart
+/// footprint can exceed the live data size (§4.4's invariant, widened from
+/// one row-block-column to one budget's worth).
+///
+/// An acquire larger than the whole budget is granted once nothing else is
+/// in flight, so a single oversized item degrades to serial instead of
+/// deadlocking. limit == 0 means unlimited.
+class ByteBudget {
+ public:
+  explicit ByteBudget(uint64_t limit) : limit_(limit) {}
+
+  ByteBudget(const ByteBudget&) = delete;
+  ByteBudget& operator=(const ByteBudget&) = delete;
+
+  /// Blocks until `bytes` fits under the limit (or nothing is in flight).
+  void Acquire(uint64_t bytes);
+
+  /// Returns `bytes` to the budget.
+  void Release(uint64_t bytes);
+
+  uint64_t limit() const { return limit_; }
+  uint64_t in_flight() const;
+
+ private:
+  const uint64_t limit_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  uint64_t in_flight_bytes_ = 0;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_UTIL_THREAD_POOL_H_
