@@ -144,26 +144,38 @@ struct RestoreControl {
 };
 
 // Copies block `rb` of `job` to the heap, verifying checksums if asked.
+// On failure, uncounts every byte it added: the partial columns are freed
+// on return, so leaving them counted would overstate the tracker's
+// last/peak readings on the fallback path.
 Status CopyOneBlock(SegmentRestoreJob* job, size_t rb, bool verify_checksums,
                     RestoreStats* stats, FootprintCounter* footprint) {
   const TableSegmentReader::BlockEntry& entry = job->reader.block(rb);
   const size_t num_columns = entry.columns.size();
 
+  uint64_t added = 0;
   std::vector<std::unique_ptr<RowBlockColumn>> columns(num_columns);
   for (size_t c = 0; c < num_columns; ++c) {
     const auto& [offset, size] = entry.columns[c];
-    SCUBA_ASSIGN_OR_RETURN(
-        columns[c],
-        CopyColumnToHeap(job->base + offset, size, verify_checksums));
+    auto column =
+        CopyColumnToHeap(job->base + offset, size, verify_checksums);
+    if (!column.ok()) {
+      footprint->Sub(added);
+      return column.status();
+    }
+    columns[c] = std::move(column).value();
     footprint->Add(size);
+    added += size;
     stats->bytes_copied += size;
     ++stats->columns_restored;
   }
 
-  SCUBA_ASSIGN_OR_RETURN(
-      job->blocks[rb],
-      RowBlock::FromParts(entry.meta.header, entry.meta.schema,
-                          std::move(columns)));
+  auto block = RowBlock::FromParts(entry.meta.header, entry.meta.schema,
+                                   std::move(columns));
+  if (!block.ok()) {
+    footprint->Sub(added);
+    return block.status();
+  }
+  job->blocks[rb] = std::move(block).value();
   ++stats->row_blocks_restored;
   return Status::OK();
 }
@@ -265,6 +277,16 @@ Status RestoreSegmentsParallel(const std::vector<std::string>& segment_names,
   }
 
   if (ctl.cancelled.load(std::memory_order_acquire)) {
+    // The blocks copied so far are dropped with `jobs` on return; uncount
+    // them so the tracker matches the heap (failed blocks' partial columns
+    // were already uncounted by CopyOneBlock itself).
+    for (const auto& job_ptr : jobs) {
+      for (size_t rb = 0; rb < job_ptr->blocks.size(); ++rb) {
+        if (job_ptr->blocks[rb] != nullptr) {
+          footprint->Sub(job_ptr->payload_bytes[rb]);
+        }
+      }
+    }
     std::lock_guard<std::mutex> lock(ctl.error_mutex);
     return ctl.first_error.ok()
                ? Status::Internal("parallel restore cancelled")

@@ -1,5 +1,6 @@
 #include "core/shutdown.h"
 
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -110,8 +111,12 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
     footprint.Add(w->used_bytes());
 
     // Reserve the whole table's layout serially — reservation may grow
-    // (remap) the segment, so it must finish before this segment's copies
-    // start. Copies then write to disjoint, stable offsets.
+    // (remap) the segment, so every reservation must finish before this
+    // segment's copies start (the table_segment.h contract). Tasks are
+    // buffered and submitted only after the loop, once the mapping can no
+    // longer move; copies then write to disjoint, stable offsets.
+    std::vector<std::function<void()>> deferred;
+    if (pool != nullptr) deferred.reserve(job.num_blocks);
     for (uint64_t b = 0; b < job.num_blocks; ++b) {
       RowBlock* block = table->mutable_row_block(b);
       SCUBA_RETURN_IF_ERROR(w->AppendRowBlockMeta(*block));
@@ -148,11 +153,12 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
         ++stats->row_blocks_copied;
       };
       if (pool != nullptr) {
-        pool->Submit(std::move(copy_block));
+        deferred.push_back(std::move(copy_block));
       } else {
         copy_block();
       }
     }
+    for (auto& task : deferred) pool->Submit(std::move(task));
 
     if (pool == nullptr) {
       // Serial mode: seal and free this table before moving to the next,

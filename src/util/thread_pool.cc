@@ -59,28 +59,33 @@ void ThreadPool::WorkerLoop() {
 Status ParallelFor(ThreadPool* pool, size_t n,
                    const std::function<Status(size_t)>& fn) {
   if (pool == nullptr || n <= 1) {
-    Status first;
+    // Inline: stop at the first error, exactly like the serial loops this
+    // replaces — a failure sends the caller to its fallback path, so the
+    // remaining iterations would be wasted work.
     for (size_t i = 0; i < n; ++i) {
       Status s = fn(i);
-      if (!s.ok() && first.ok()) first = std::move(s);
+      if (!s.ok()) return s;
     }
-    return first;
+    return Status::OK();
   }
 
-  // All iterations run even after a failure (callers rely on every item
-  // reaching a terminal state for budget/watermark accounting); only the
-  // first error is kept.
+  // Pooled: after the first failure, iterations that have not started yet
+  // are skipped (tasks already running finish normally); only the first
+  // error is kept.
   struct Shared {
     std::mutex mutex;
     Status first_error;
+    std::atomic<bool> failed{false};
   };
   auto shared = std::make_shared<Shared>();
   for (size_t i = 0; i < n; ++i) {
     pool->Submit([fn, i, shared] {
+      if (shared->failed.load(std::memory_order_acquire)) return;
       Status s = fn(i);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(shared->mutex);
         if (shared->first_error.ok()) shared->first_error = std::move(s);
+        shared->failed.store(true, std::memory_order_release);
       }
     });
   }
@@ -92,8 +97,19 @@ Status ParallelFor(ThreadPool* pool, size_t n,
 void ByteBudget::Acquire(uint64_t bytes) {
   if (limit_ == 0) return;
   std::unique_lock<std::mutex> lock(mutex_);
+  if (bytes > limit_) {
+    // Oversized: needs exclusive use of the budget. Registering as a
+    // waiter blocks new small acquisitions, so a steady stream of them
+    // cannot starve this request — in-flight bytes drain to zero as the
+    // current holders release.
+    ++oversized_waiting_;
+    cv_.wait(lock, [this] { return in_flight_bytes_ == 0; });
+    --oversized_waiting_;
+    in_flight_bytes_ += bytes;
+    return;
+  }
   cv_.wait(lock, [this, bytes] {
-    return in_flight_bytes_ + bytes <= limit_ || in_flight_bytes_ == 0;
+    return oversized_waiting_ == 0 && in_flight_bytes_ + bytes <= limit_;
   });
   in_flight_bytes_ += bytes;
 }

@@ -54,12 +54,15 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
-/// Runs fn(0..n-1) across `pool` and blocks until all calls finish; the
-/// first non-OK status (lowest index wins on ties is NOT guaranteed) is
-/// returned after every call has completed. With a null pool (or n <= 1)
-/// the calls run inline on the caller's thread — callers pass nullptr for
-/// the single-threaded configuration so the serial path stays allocation-
-/// and lock-free.
+/// Runs fn(0..n-1) across `pool` and blocks until every started call has
+/// finished; the first non-OK status (lowest index wins on ties is NOT
+/// guaranteed) is returned. A failure short-circuits the loop: iterations
+/// that have not started yet are skipped, since an error aborts the
+/// caller's whole operation (e.g. disk recovery falls back after the
+/// first bad table). With a null pool (or n <= 1) the calls run inline on
+/// the caller's thread and stop at the first error — callers pass nullptr
+/// for the single-threaded configuration so the serial path stays
+/// allocation- and lock-free.
 Status ParallelFor(ThreadPool* pool, size_t n,
                    const std::function<Status(size_t)>& fn);
 
@@ -71,7 +74,9 @@ Status ParallelFor(ThreadPool* pool, size_t n,
 ///
 /// An acquire larger than the whole budget is granted once nothing else is
 /// in flight, so a single oversized item degrades to serial instead of
-/// deadlocking. limit == 0 means unlimited.
+/// deadlocking; while one waits, new smaller acquisitions block behind it
+/// so a steady stream of small items cannot starve it. limit == 0 means
+/// unlimited.
 class ByteBudget {
  public:
   explicit ByteBudget(uint64_t limit) : limit_(limit) {}
@@ -93,6 +98,7 @@ class ByteBudget {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   uint64_t in_flight_bytes_ = 0;
+  size_t oversized_waiting_ = 0;  // acquires > limit_ parked for exclusivity
 };
 
 }  // namespace scuba

@@ -141,6 +141,38 @@ TEST(ParallelCopyTest, ParallelRoundTripMatchesSerialByteForByte) {
   EXPECT_TRUE(ShmSegment::List("/" + ns_parallel.prefix()).empty());
 }
 
+TEST(ParallelCopyTest, ParallelShutdownSurvivesSegmentGrowth) {
+  ShmNamespace ns("pc_grow");
+  LeafMap leaf_map;
+  LeafMap reference;
+  FillLeaf(&leaf_map);
+  FillLeaf(&reference);
+  uint64_t bytes_before = leaf_map.TotalMemoryBytes();
+
+  // Deliberately worthless size estimate: every table segment must Grow
+  // (remap, possibly moving the mapping) many times during reservation
+  // while earlier tables' copies are already in flight. A table's copy
+  // tasks must therefore not start until its layout is fully reserved —
+  // this is the regression test for submitting them too early.
+  ShutdownOptions soptions;
+  soptions.namespace_prefix = ns.prefix();
+  soptions.num_copy_threads = 4;
+  soptions.size_estimate_factor = 0.0;
+  ShutdownStats sstats;
+  ASSERT_TRUE(ShutdownToShm(&leaf_map, soptions, &sstats).ok());
+  EXPECT_GT(sstats.segment_grow_count.load(), 0u);
+
+  RestoreOptions roptions;
+  roptions.namespace_prefix = ns.prefix();
+  roptions.num_copy_threads = 4;
+  roptions.verify_checksums = true;
+  RestoreStats rstats;
+  LeafMap restored;
+  ASSERT_TRUE(RestoreFromShm(&restored, roptions, &rstats).ok());
+  EXPECT_EQ(rstats.bytes_copied, bytes_before);
+  ExpectLeafMapsByteIdentical(reference, restored);
+}
+
 TEST(ParallelCopyTest, FootprintStaysWithinBudgetBound) {
   ShmNamespace ns("pc_foot");
   LeafMap leaf_map;

@@ -64,27 +64,28 @@ TEST(ParallelForTest, InlineWhenPoolIsNull) {
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
-TEST(ParallelForTest, RunsAllAndReturnsFirstError) {
-  ThreadPool pool(3);
+TEST(ParallelForTest, ReturnsErrorAndSkipsUnstartedIterations) {
+  // One worker runs the tasks FIFO, so after iteration 0 fails every
+  // later iteration must see the failure flag and be skipped.
+  ThreadPool pool(1);
   std::atomic<int> count{0};
   Status s = ParallelFor(&pool, 20, [&](size_t i) -> Status {
     count.fetch_add(1);
-    if (i == 7) return Status::Corruption("boom");
+    if (i == 0) return Status::Corruption("boom");
     return Status::OK();
   });
   EXPECT_TRUE(s.IsCorruption()) << s.ToString();
-  // Every iteration still ran (callers rely on terminal bookkeeping).
-  EXPECT_EQ(count.load(), 20);
+  EXPECT_EQ(count.load(), 1);
 }
 
-TEST(ParallelForTest, InlineAlsoRunsAllAfterError) {
+TEST(ParallelForTest, InlineStopsAtFirstError) {
   std::atomic<int> count{0};
   Status s = ParallelFor(nullptr, 5, [&](size_t i) -> Status {
     count.fetch_add(1);
-    return i == 0 ? Status::Internal("first") : Status::Corruption("later");
+    return i == 1 ? Status::Internal("first") : Status::OK();
   });
   EXPECT_TRUE(s.IsInternal()) << s.ToString();
-  EXPECT_EQ(count.load(), 5);
+  EXPECT_EQ(count.load(), 2);
 }
 
 TEST(ByteBudgetTest, UnlimitedNeverBlocks) {
@@ -134,6 +135,38 @@ TEST(ByteBudgetTest, OversizedAcquireGrantedWhenIdle) {
   blocked.join();
   EXPECT_TRUE(acquired.load());
   budget.Release(1);
+}
+
+TEST(ByteBudgetTest, OversizedWaiterBlocksNewSmallAcquires) {
+  ByteBudget budget(100);
+  budget.Acquire(50);
+
+  std::atomic<bool> oversized_done{false};
+  std::thread oversized([&] {
+    budget.Acquire(1000);  // must wait for the 50 in flight to drain
+    oversized_done.store(true);
+    budget.Release(1000);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_FALSE(oversized_done.load());
+
+  // 50 + 10 <= 100, but the parked oversized request must win over new
+  // small acquisitions or it could be starved forever.
+  std::atomic<bool> small_done{false};
+  std::thread small([&] {
+    budget.Acquire(10);
+    small_done.store(true);
+    budget.Release(10);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(small_done.load());
+
+  budget.Release(50);
+  oversized.join();
+  small.join();
+  EXPECT_TRUE(oversized_done.load());
+  EXPECT_TRUE(small_done.load());
+  EXPECT_EQ(budget.in_flight(), 0u);
 }
 
 }  // namespace
