@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: build + test in Release, then rebuild the concurrency-sensitive
-# targets under ThreadSanitizer and run the core/shm/util suites (the
-# parallel copy engine's data-race surface).
+# targets under ThreadSanitizer and run the core/shm/util/query suites
+# (the parallel copy engine's and the parallel query scan's data-race
+# surface).
 #
 # Usage: ci/check.sh [jobs]
 set -euo pipefail
@@ -15,13 +16,13 @@ cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== TSan build + core/shm/util suites ==="
+echo "=== TSan build + core/shm/util/query suites ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCUBA_TSAN=ON \
   >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
-  --target util_test shm_test core_test
+  --target util_test shm_test core_test query_test server_test
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata'
+  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator'
 
 echo
 echo "=== OK ==="

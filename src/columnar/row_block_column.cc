@@ -1,5 +1,7 @@
 #include "columnar/row_block_column.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "util/byte_buffer.h"
@@ -19,10 +21,17 @@ constexpr size_t kOffItemCount = 24;
 constexpr size_t kOffDictItemCount = 32;
 constexpr size_t kOffDictOffset = 40;
 constexpr size_t kOffDataOffset = 48;
-// Footer field offsets relative to footer start.
-constexpr size_t kFooterOffUncompressed = 0;
-constexpr size_t kFooterOffChecksum = 8;
-constexpr size_t kFooterOffEndMagic = 12;
+// V2 footer field offsets relative to footer start (the trailing
+// [uncompressed | checksum | end magic] 16 bytes are common to both
+// versions and addressed from the buffer END instead).
+constexpr size_t kFooterOffZoneMin = 0;
+constexpr size_t kFooterOffZoneMax = 8;
+constexpr size_t kFooterOffZoneFlags = 16;
+constexpr uint32_t kZoneFlagPresent = 1u;
+// Common trailing fields, relative to the END of the buffer.
+constexpr size_t kTrailerOffUncompressed = 16;
+constexpr size_t kTrailerOffChecksum = 8;
+constexpr size_t kTrailerOffEndMagic = 4;
 
 uint64_t ReadU64At(const uint8_t* base, size_t off) {
   return ByteBuffer::DecodeU64(base + off);
@@ -35,26 +44,27 @@ uint16_t ReadU16At(const uint8_t* base, size_t off) {
                                (static_cast<uint16_t>(base[off + 1]) << 8));
 }
 
-// The footer offset is not stored as a header field: it is derivable as
-// total_bytes - kFooterSize, and keeping a single source of truth avoids
-// inconsistent-offset corruption classes. (Fig 3 lists it; we document the
-// derivation instead of duplicating state.)
-size_t FooterOffset(uint64_t total_bytes) {
-  return static_cast<size_t>(total_bytes) - RowBlockColumn::kFooterSize;
-}
-
 }  // namespace
+
+// The footer offset is not stored as a header field: it is derivable as
+// total_bytes - footer_size(version), and keeping a single source of truth
+// avoids inconsistent-offset corruption classes. (Fig 3 lists it; we
+// document the derivation instead of duplicating state.)
+size_t RowBlockColumn::FooterOffset() const {
+  return size_ - FooterSizeForVersion(version());
+}
 
 RowBlockColumn RowBlockColumn::Assemble(ColumnType type,
                                         column_codec::EncodedColumn encoded,
                                         uint64_t item_count,
-                                        uint64_t uncompressed_bytes) {
+                                        uint64_t uncompressed_bytes,
+                                        ZoneMap zone) {
   const size_t dict_size = encoded.dict.size();
   const size_t data_size = encoded.data.size();
   const size_t dict_offset = kHeaderSize;
   const size_t data_offset = dict_offset + dict_size;
   const size_t footer_offset = data_offset + data_size;
-  const size_t total = footer_offset + kFooterSize;
+  const size_t total = footer_offset + kFooterSizeV2;
 
   std::unique_ptr<uint8_t[]> buf(new uint8_t[total]);
   uint8_t* p = buf.get();
@@ -75,22 +85,53 @@ RowBlockColumn RowBlockColumn::Assemble(ColumnType type,
   if (data_size > 0) std::memcpy(p + data_offset, encoded.data.data(), data_size);
 
   uint8_t* footer = p + footer_offset;
-  ByteBuffer::EncodeU64(footer + kFooterOffUncompressed, uncompressed_bytes);
-  uint32_t crc = crc32c::Value(p, footer_offset + 8);
-  ByteBuffer::EncodeU32(footer + kFooterOffChecksum, crc32c::Mask(crc));
-  ByteBuffer::EncodeU32(footer + kFooterOffEndMagic, kEndMagic);
+  ByteBuffer::EncodeU64(footer + kFooterOffZoneMin, zone.min_bits);
+  ByteBuffer::EncodeU64(footer + kFooterOffZoneMax, zone.max_bits);
+  ByteBuffer::EncodeU32(footer + kFooterOffZoneFlags,
+                        zone.present ? kZoneFlagPresent : 0u);
+  ByteBuffer::EncodeU32(footer + kFooterOffZoneFlags + 4, 0);  // reserved
+  ByteBuffer::EncodeU64(p + total - kTrailerOffUncompressed,
+                        uncompressed_bytes);
+  uint32_t crc = crc32c::Value(p, total - kTrailerOffChecksum);
+  ByteBuffer::EncodeU32(p + total - kTrailerOffChecksum, crc32c::Mask(crc));
+  ByteBuffer::EncodeU32(p + total - kTrailerOffEndMagic, kEndMagic);
 
   return RowBlockColumn(std::move(buf), total);
 }
 
 RowBlockColumn RowBlockColumn::BuildInt64(const std::vector<int64_t>& values) {
+  ZoneMap zone;
+  if (!values.empty()) {
+    auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+    zone.present = true;
+    zone.min_bits = static_cast<uint64_t>(*mn);
+    zone.max_bits = static_cast<uint64_t>(*mx);
+  }
   return Assemble(ColumnType::kInt64, column_codec::EncodeInt64(values),
-                  values.size(), values.size() * 8);
+                  values.size(), values.size() * 8, zone);
 }
 
 RowBlockColumn RowBlockColumn::BuildDouble(const std::vector<double>& values) {
+  ZoneMap zone;
+  if (!values.empty()) {
+    double mn = values[0], mx = values[0];
+    bool has_nan = false;
+    for (double v : values) {
+      if (std::isnan(v)) {
+        has_nan = true;
+        break;
+      }
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    if (!has_nan) {
+      zone.present = true;
+      std::memcpy(&zone.min_bits, &mn, 8);
+      std::memcpy(&zone.max_bits, &mx, 8);
+    }
+  }
   return Assemble(ColumnType::kDouble, column_codec::EncodeDouble(values),
-                  values.size(), values.size() * 8);
+                  values.size(), values.size() * 8, zone);
 }
 
 RowBlockColumn RowBlockColumn::BuildString(
@@ -98,19 +139,24 @@ RowBlockColumn RowBlockColumn::BuildString(
   uint64_t logical = 0;
   for (const std::string& v : values) logical += v.size() + 8;
   return Assemble(ColumnType::kString, column_codec::EncodeString(values),
-                  values.size(), logical);
+                  values.size(), logical, ZoneMap());
 }
 
 Status RowBlockColumn::ValidateBuffer(Slice buffer, bool verify_checksum) {
-  if (buffer.size() < kHeaderSize + kFooterSize) {
+  if (buffer.size() < kHeaderSize + kFooterSizeV1) {
     return Status::Corruption("rbc: buffer smaller than header + footer");
   }
   const uint8_t* p = buffer.data();
   if (ReadU32At(p, kOffMagic) != kMagic) {
     return Status::Corruption("rbc: bad magic");
   }
-  if (ReadU16At(p, kOffVersion) != kVersion) {
+  uint16_t version = ReadU16At(p, kOffVersion);
+  if (version < 1 || version > kVersion) {
     return Status::Corruption("rbc: unsupported version");
+  }
+  const size_t footer_size = FooterSizeForVersion(version);
+  if (buffer.size() < kHeaderSize + footer_size) {
+    return Status::Corruption("rbc: buffer smaller than header + footer");
   }
   uint64_t total = ReadU64At(p, kOffTotalBytes);
   if (total != buffer.size()) {
@@ -118,7 +164,7 @@ Status RowBlockColumn::ValidateBuffer(Slice buffer, bool verify_checksum) {
   }
   uint64_t dict_offset = ReadU64At(p, kOffDictOffset);
   uint64_t data_offset = ReadU64At(p, kOffDataOffset);
-  size_t footer_offset = FooterOffset(total);
+  size_t footer_offset = static_cast<size_t>(total) - footer_size;
   if (dict_offset != kHeaderSize || data_offset < dict_offset ||
       data_offset > footer_offset) {
     return Status::Corruption("rbc: inconsistent section offsets");
@@ -127,13 +173,13 @@ Status RowBlockColumn::ValidateBuffer(Slice buffer, bool verify_checksum) {
   if (type < 1 || type > 3) {
     return Status::Corruption("rbc: invalid column type");
   }
-  const uint8_t* footer = p + footer_offset;
-  if (ReadU32At(footer, kFooterOffEndMagic) != kEndMagic) {
+  if (ReadU32At(p, total - kTrailerOffEndMagic) != kEndMagic) {
     return Status::Corruption("rbc: bad end magic");
   }
   if (verify_checksum) {
-    uint32_t stored = crc32c::Unmask(ReadU32At(footer, kFooterOffChecksum));
-    uint32_t actual = crc32c::Value(p, footer_offset + 8);
+    uint32_t stored =
+        crc32c::Unmask(ReadU32At(p, total - kTrailerOffChecksum));
+    uint32_t actual = crc32c::Value(p, total - kTrailerOffChecksum);
     if (stored != actual) {
       return Status::Corruption("rbc: checksum mismatch");
     }
@@ -146,6 +192,10 @@ StatusOr<RowBlockColumn> RowBlockColumn::FromBuffer(
   SCUBA_RETURN_IF_ERROR(
       ValidateBuffer(Slice(buffer.get(), size), verify_checksum));
   return RowBlockColumn(std::move(buffer), size);
+}
+
+uint16_t RowBlockColumn::version() const {
+  return ReadU16At(buffer_.get(), kOffVersion);
 }
 
 ColumnType RowBlockColumn::type() const {
@@ -165,7 +215,33 @@ uint64_t RowBlockColumn::dict_item_count() const {
 }
 
 uint64_t RowBlockColumn::uncompressed_bytes() const {
-  return ReadU64At(buffer_.get(), FooterOffset(size_) + kFooterOffUncompressed);
+  return ReadU64At(buffer_.get(), size_ - kTrailerOffUncompressed);
+}
+
+bool RowBlockColumn::HasZoneMap() const {
+  if (version() < 2) return false;
+  return (ReadU32At(buffer_.get(), FooterOffset() + kFooterOffZoneFlags) &
+          kZoneFlagPresent) != 0;
+}
+
+bool RowBlockColumn::ZoneRangeInt64(int64_t* min, int64_t* max) const {
+  if (type() != ColumnType::kInt64 || !HasZoneMap()) return false;
+  const size_t footer = FooterOffset();
+  *min = static_cast<int64_t>(
+      ReadU64At(buffer_.get(), footer + kFooterOffZoneMin));
+  *max = static_cast<int64_t>(
+      ReadU64At(buffer_.get(), footer + kFooterOffZoneMax));
+  return true;
+}
+
+bool RowBlockColumn::ZoneRangeDouble(double* min, double* max) const {
+  if (type() != ColumnType::kDouble || !HasZoneMap()) return false;
+  const size_t footer = FooterOffset();
+  uint64_t min_bits = ReadU64At(buffer_.get(), footer + kFooterOffZoneMin);
+  uint64_t max_bits = ReadU64At(buffer_.get(), footer + kFooterOffZoneMax);
+  std::memcpy(min, &min_bits, 8);
+  std::memcpy(max, &max_bits, 8);
+  return true;
 }
 
 Slice RowBlockColumn::DictSlice() const {
@@ -178,7 +254,7 @@ Slice RowBlockColumn::DictSlice() const {
 Slice RowBlockColumn::DataSlice() const {
   uint64_t data_offset = ReadU64At(buffer_.get(), kOffDataOffset);
   return Slice(buffer_.get() + data_offset,
-               FooterOffset(size_) - static_cast<size_t>(data_offset));
+               FooterOffset() - static_cast<size_t>(data_offset));
 }
 
 Status RowBlockColumn::DecodeInt64(std::vector<int64_t>* values) const {
@@ -203,6 +279,19 @@ Status RowBlockColumn::DecodeString(std::vector<std::string>* values) const {
   }
   return column_codec::DecodeString(compression_chain(), DictSlice(),
                                     DataSlice(), item_count(), values);
+}
+
+Status RowBlockColumn::DecodeStringDictionary(
+    std::vector<std::string>* dict_values, std::vector<uint32_t>* codes) const {
+  if (type() != ColumnType::kString) {
+    return Status::InvalidArgument("rbc: not a string column");
+  }
+  if (!column_codec::IsStringDictChain(compression_chain())) {
+    return Status::FailedPrecondition("rbc: not dictionary encoded");
+  }
+  return column_codec::DecodeStringDictCodes(compression_chain(), DictSlice(),
+                                             DataSlice(), item_count(),
+                                             dict_values, codes);
 }
 
 }  // namespace scuba

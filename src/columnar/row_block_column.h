@@ -27,7 +27,7 @@ namespace scuba {
 ///
 /// Header (fixed 56 bytes, little-endian):
 ///   u32 magic            'RBC1'
-///   u16 version          layout version of this column format
+///   u16 version          layout version of this column format (1 or 2)
 ///   u16 compression      codec chain code (column_codec::ChainCode)
 ///   u32 column type      ColumnType
 ///   u32 reserved
@@ -38,17 +38,38 @@ namespace scuba {
 ///   u64 data offset      offset at which the data is found
 ///   u64 footer offset    offset at which the footer is found
 ///
-/// Footer (16 bytes):
+/// Footer, version 1 (16 bytes):
 ///   u64 uncompressed bytes  logical (pre-compression) size of the column
 ///   u32 checksum            masked CRC32C of bytes [0, footer_offset + 8)
 ///   u32 end magic           'RBCE'
+///
+/// Footer, version 2 (40 bytes) — adds a zone map so query execution can
+/// prune whole row blocks on comparison predicates without decoding (the
+/// same trick the header's min/max time plays for time predicates, §2.1):
+///   u64 zone min bits       min value (int64 bits, or double bit pattern)
+///   u64 zone max bits       max value
+///   u32 zone flags          bit 0: zone map present
+///   u32 reserved
+///   u64 uncompressed bytes
+///   u32 checksum            masked CRC32C of bytes [0, footer_offset + 32)
+///   u32 end magic           'RBCE'
+///
+/// Both versions keep [uncompressed | checksum | end magic] as the LAST 16
+/// bytes of the buffer; readers accept either version (old blocks restored
+/// from shm or disk keep working), writers always emit version 2.
 class RowBlockColumn {
  public:
   static constexpr uint32_t kMagic = 0x31434252;     // "RBC1"
   static constexpr uint32_t kEndMagic = 0x45434252;  // "RBCE"
-  static constexpr uint16_t kVersion = 1;
+  static constexpr uint16_t kVersion = 2;
   static constexpr size_t kHeaderSize = 56;
-  static constexpr size_t kFooterSize = 16;
+  static constexpr size_t kFooterSizeV1 = 16;
+  static constexpr size_t kFooterSizeV2 = 40;
+
+  /// Footer byte size for a given layout version.
+  static size_t FooterSizeForVersion(uint16_t version) {
+    return version >= 2 ? kFooterSizeV2 : kFooterSizeV1;
+  }
 
   RowBlockColumn(RowBlockColumn&&) noexcept = default;
   RowBlockColumn& operator=(RowBlockColumn&&) noexcept = default;
@@ -56,6 +77,8 @@ class RowBlockColumn {
   RowBlockColumn& operator=(const RowBlockColumn&) = delete;
 
   /// Builders: encode a typed value vector into a fresh column buffer.
+  /// Int64 and double builders record the column's min/max in the footer
+  /// zone map (doubles containing NaN get no zone map).
   static RowBlockColumn BuildInt64(const std::vector<int64_t>& values);
   static RowBlockColumn BuildDouble(const std::vector<double>& values);
   static RowBlockColumn BuildString(const std::vector<std::string>& values);
@@ -73,12 +96,20 @@ class RowBlockColumn {
   static Status ValidateBuffer(Slice buffer, bool verify_checksum = true);
 
   // Header accessors.
+  uint16_t version() const;
   ColumnType type() const;
   column_codec::ChainCode compression_chain() const;
   uint64_t item_count() const;
   uint64_t dict_item_count() const;
   uint64_t total_bytes() const { return size_; }
   uint64_t uncompressed_bytes() const;
+
+  // Zone map accessors (v2 footers only; v1 columns report none).
+  bool HasZoneMap() const;
+  /// Min/max of an int64 column; false when absent or wrong type.
+  bool ZoneRangeInt64(int64_t* min, int64_t* max) const;
+  /// Min/max of a double column; false when absent or wrong type.
+  bool ZoneRangeDouble(double* min, double* max) const;
 
   /// The whole contiguous buffer; relocating the column IS memcpy'ing this.
   Slice AsSlice() const { return Slice(buffer_.get(), size_); }
@@ -89,6 +120,13 @@ class RowBlockColumn {
   Status DecodeDouble(std::vector<double>* values) const;
   Status DecodeString(std::vector<std::string>* values) const;
 
+  /// Dictionary view of a dictionary-encoded string column: the distinct
+  /// values plus the per-row code vector, WITHOUT materializing a
+  /// std::string per row. FailedPrecondition when the column is not
+  /// dictionary-encoded (callers fall back to DecodeString).
+  Status DecodeStringDictionary(std::vector<std::string>* dict_values,
+                                std::vector<uint32_t>* codes) const;
+
   /// Integrity check of this column's buffer.
   Status Validate() const { return ValidateBuffer(AsSlice()); }
 
@@ -96,11 +134,18 @@ class RowBlockColumn {
   RowBlockColumn(std::unique_ptr<uint8_t[]> buffer, size_t size)
       : buffer_(std::move(buffer)), size_(size) {}
 
+  struct ZoneMap {
+    bool present = false;
+    uint64_t min_bits = 0;
+    uint64_t max_bits = 0;
+  };
+
   static RowBlockColumn Assemble(ColumnType type,
                                  column_codec::EncodedColumn encoded,
                                  uint64_t item_count,
-                                 uint64_t uncompressed_bytes);
+                                 uint64_t uncompressed_bytes, ZoneMap zone);
 
+  size_t FooterOffset() const;
   Slice DictSlice() const;
   Slice DataSlice() const;
 

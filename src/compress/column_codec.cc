@@ -316,6 +316,42 @@ Status DecodeDouble(ChainCode chain, Slice dict, Slice data, size_t count,
                             ChainToString(chain));
 }
 
+bool IsStringDictChain(ChainCode chain) {
+  std::vector<Stage> stages = ChainStages(chain);
+  StripLz4(&stages);
+  return stages == std::vector<Stage>{Stage::kDictionary, Stage::kBitPack};
+}
+
+Status DecodeStringDictCodes(ChainCode chain, Slice dict, Slice data,
+                             size_t count,
+                             std::vector<std::string>* dict_values,
+                             std::vector<uint32_t>* codes) {
+  dict_values->clear();
+  codes->clear();
+  if (!IsStringDictChain(chain)) {
+    return Status::InvalidArgument("string column: not dictionary encoded");
+  }
+  if (count == 0) return Status::OK();
+
+  std::vector<Stage> stages = ChainStages(chain);
+  ByteBuffer unwrapped;
+  if (StripLz4(&stages)) {
+    SCUBA_RETURN_IF_ERROR(UnLz4(data, &unwrapped));
+    data = unwrapped.AsSlice();
+  }
+  SCUBA_RETURN_IF_ERROR(dictionary::ParseStringDict(dict, dict_values));
+  std::vector<uint64_t> indexes;
+  SCUBA_RETURN_IF_ERROR(ReadPacked(&data, count, &indexes));
+  codes->reserve(count);
+  for (uint64_t idx : indexes) {
+    if (idx >= dict_values->size()) {
+      return Status::Corruption("string column: dict index out of range");
+    }
+    codes->push_back(static_cast<uint32_t>(idx));
+  }
+  return Status::OK();
+}
+
 Status DecodeString(ChainCode chain, Slice dict, Slice data, size_t count,
                     std::vector<std::string>* values) {
   values->clear();

@@ -65,6 +65,21 @@ EncodedColumn EncodeDouble(const std::vector<double>& values);
 /// distinct count is low; varint-framed raw + LZ4 otherwise.
 EncodedColumn EncodeString(const std::vector<std::string>& values);
 
+/// True when `chain` is the dictionary-encoded string layout
+/// (dict + bitpack, optionally wrapped in lz4).
+bool IsStringDictChain(ChainCode chain);
+
+/// Decodes the dictionary entries and the per-row dictionary codes of a
+/// dictionary-encoded string column WITHOUT materializing per-row strings
+/// (codes fit in uint32: the chooser caps cardinality at 4096). The
+/// vectorized query engine evaluates string predicates once per distinct
+/// entry and filters rows by code. InvalidArgument when the chain is not
+/// IsStringDictChain.
+Status DecodeStringDictCodes(ChainCode chain, Slice dict, Slice data,
+                             size_t count,
+                             std::vector<std::string>* dict_values,
+                             std::vector<uint32_t>* codes);
+
 /// Decoders. `count` is the item count from the column header; `dict` and
 /// `data` are the blobs located via the header offsets.
 Status DecodeInt64(ChainCode chain, Slice dict, Slice data, size_t count,

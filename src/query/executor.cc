@@ -1,16 +1,17 @@
 #include "query/executor.h"
 
+#include <functional>
 #include <set>
 #include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "query/scan_kernels.h"
 
 namespace scuba {
 namespace {
 
-// Decoded columns of one scan unit (a row block or the write buffer).
-struct DecodedChunk {
-  size_t row_count = 0;
-  std::unordered_map<std::string, ColumnValues> columns;
-};
+using TypeMap = std::unordered_map<std::string, ColumnType>;
 
 // The set of column names a query touches.
 std::set<std::string> NeededColumns(const Query& query) {
@@ -27,10 +28,9 @@ std::set<std::string> NeededColumns(const Query& query) {
 // Resolves each needed column to a single type across the table; absent
 // columns default to the predicate literal's type when referenced by a
 // predicate, otherwise int64.
-StatusOr<std::unordered_map<std::string, ColumnType>> ResolveTypes(
-    const Table& table, const Query& query,
-    const std::set<std::string>& needed) {
-  std::unordered_map<std::string, ColumnType> types;
+StatusOr<TypeMap> ResolveTypes(const Table& table, const Query& query,
+                               const std::set<std::string>& needed) {
+  TypeMap types;
   auto note = [&](const std::string& name, ColumnType type) -> Status {
     auto [it, inserted] = types.try_emplace(name, type);
     if (!inserted && it->second != type) {
@@ -75,9 +75,24 @@ ColumnValues DefaultColumn(ColumnType type, size_t rows) {
   return std::vector<int64_t>(rows, 0);
 }
 
+// Floor-divide toward negative infinity so pre-epoch times bucket
+// consistently.
+int64_t TimeBucket(int64_t t, int64_t w) {
+  return (t >= 0 ? t / w : (t - w + 1) / w) * w;
+}
+
+// ===========================================================================
+// Scalar reference path (row-at-a-time; the differential-testing oracle).
+// ===========================================================================
+
+// Decoded columns of one scan unit (a row block or the write buffer).
+struct DecodedChunk {
+  size_t row_count = 0;
+  std::unordered_map<std::string, ColumnValues> columns;
+};
+
 Status DecodeBlock(const RowBlock& block, const std::set<std::string>& needed,
-                   const std::unordered_map<std::string, ColumnType>& types,
-                   DecodedChunk* chunk) {
+                   const TypeMap& types, DecodedChunk* chunk) {
   chunk->row_count = block.header().row_count;
   for (const std::string& name : needed) {
     const RowBlockColumn* column = block.ColumnByName(name);
@@ -111,8 +126,7 @@ Status DecodeBlock(const RowBlock& block, const std::set<std::string>& needed,
 }
 
 Status DecodeBuffer(const WriteBuffer& buffer,
-                    const std::set<std::string>& needed,
-                    const std::unordered_map<std::string, ColumnType>& types,
+                    const std::set<std::string>& needed, const TypeMap& types,
                     DecodedChunk* chunk) {
   chunk->row_count = buffer.row_count();
   for (const std::string& name : needed) {
@@ -230,8 +244,8 @@ StatusOr<double> NumericCell(const ColumnValues& column, size_t row,
                                  name + "'");
 }
 
-Status ProcessChunk(const DecodedChunk& chunk, const Query& query,
-                    QueryResult* result) {
+Status ProcessChunkScalar(const DecodedChunk& chunk, const Query& query,
+                          QueryResult* result) {
   const auto& times =
       std::get<std::vector<int64_t>>(chunk.columns.at(kTimeColumnName));
 
@@ -258,12 +272,7 @@ Status ProcessChunk(const DecodedChunk& chunk, const Query& query,
     ++result->rows_matched;
 
     if (bucketed) {
-      // Floor-divide toward negative infinity so pre-epoch times bucket
-      // consistently.
-      int64_t w = query.time_bucket_seconds;
-      int64_t t = times[row];
-      int64_t bucket = (t >= 0 ? t / w : (t - w + 1) / w) * w;
-      group_key[0] = bucket;
+      group_key[0] = TimeBucket(times[row], query.time_bucket_seconds);
     }
     for (size_t g = 0; g < query.group_by.size(); ++g) {
       group_key[g + key_offset] =
@@ -285,10 +294,357 @@ Status ProcessChunk(const DecodedChunk& chunk, const Query& query,
   return Status::OK();
 }
 
+// ===========================================================================
+// Vectorized path.
+// ===========================================================================
+
+// Lazily decoded columns of one scan unit. Predicate columns load first;
+// group-by and aggregate columns only load if any row survived the filters.
+class LazyColumns {
+ public:
+  using Loader = std::function<Status(const std::string&, scan::ScanColumn*)>;
+
+  LazyColumns(size_t rows, Loader loader)
+      : rows_(rows), loader_(std::move(loader)) {}
+
+  size_t rows() const { return rows_; }
+
+  StatusOr<const scan::ScanColumn*> Get(const std::string& name) {
+    auto it = cache_.find(name);
+    if (it != cache_.end()) return &it->second;
+    scan::ScanColumn column;
+    SCUBA_RETURN_IF_ERROR(loader_(name, &column));
+    auto [ins, inserted] = cache_.emplace(name, std::move(column));
+    (void)inserted;
+    return &ins->second;
+  }
+
+ private:
+  size_t rows_;
+  Loader loader_;
+  std::unordered_map<std::string, scan::ScanColumn> cache_;
+};
+
+// Decodes one row block column into scan form, by the resolved type.
+// String columns keep their dictionary form when the stored encoding has
+// one; absent columns read as defaults (a one-entry dictionary for strings).
+Status LoadBlockColumn(const RowBlock& block, const TypeMap& types,
+                       size_t rows, const std::string& name,
+                       scan::ScanColumn* out) {
+  const RowBlockColumn* column = block.ColumnByName(name);
+  ColumnType expected = types.at(name);
+  if (column == nullptr) {
+    switch (expected) {
+      case ColumnType::kInt64:
+        *out = std::vector<int64_t>(rows, 0);
+        break;
+      case ColumnType::kDouble:
+        *out = std::vector<double>(rows, 0.0);
+        break;
+      case ColumnType::kString:
+        *out = scan::DictStringColumn{{std::string()},
+                                      std::vector<uint32_t>(rows, 0)};
+        break;
+    }
+    return Status::OK();
+  }
+  switch (expected) {
+    case ColumnType::kInt64: {
+      std::vector<int64_t> values;
+      SCUBA_RETURN_IF_ERROR(column->DecodeInt64(&values));
+      *out = std::move(values);
+      break;
+    }
+    case ColumnType::kDouble: {
+      std::vector<double> values;
+      SCUBA_RETURN_IF_ERROR(column->DecodeDouble(&values));
+      *out = std::move(values);
+      break;
+    }
+    case ColumnType::kString: {
+      scan::DictStringColumn dict;
+      Status dict_status =
+          column->DecodeStringDictionary(&dict.dict, &dict.codes);
+      if (dict_status.ok()) {
+        *out = std::move(dict);
+        break;
+      }
+      if (!dict_status.IsFailedPrecondition()) return dict_status;
+      std::vector<std::string> values;
+      SCUBA_RETURN_IF_ERROR(column->DecodeString(&values));
+      *out = std::move(values);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadBufferColumn(const WriteBuffer& buffer, const TypeMap& types,
+                        const std::string& name, scan::ScanColumn* out) {
+  auto values = buffer.MaterializeColumn(name);
+  if (!values.has_value()) {
+    ColumnValues defaults = DefaultColumn(types.at(name), buffer.row_count());
+    std::visit([&](auto&& v) { *out = std::move(v); }, defaults);
+    return Status::OK();
+  }
+  std::visit([&](auto&& v) { *out = std::move(v); }, *values);
+  return Status::OK();
+}
+
+// Per-chunk predicate type validation (the scalar path's per-cell errors,
+// raised once per chunk instead). Only called while rows are selected, so
+// a chunk whose time filter selects nothing raises no error — exactly the
+// rows the scalar path would never have evaluated.
+Status CheckPredicateTypes(const Predicate& pred, ColumnType column_type) {
+  if (pred.op == CompareOp::kContains || pred.op == CompareOp::kPrefix) {
+    if (column_type != ColumnType::kString ||
+        !std::holds_alternative<std::string>(pred.literal)) {
+      return Status::InvalidArgument(
+          "query: '" + std::string(CompareOpName(pred.op)) +
+          "' requires a string column and literal (column '" + pred.column +
+          "')");
+    }
+    return Status::OK();
+  }
+  switch (column_type) {
+    case ColumnType::kInt64:
+      if (!std::holds_alternative<int64_t>(pred.literal)) {
+        return Status::InvalidArgument("query: predicate on int64 column '" +
+                                       pred.column +
+                                       "' needs an int64 literal");
+      }
+      break;
+    case ColumnType::kDouble:
+      if (!std::holds_alternative<double>(pred.literal)) {
+        return Status::InvalidArgument("query: predicate on double column '" +
+                                       pred.column +
+                                       "' needs a double literal");
+      }
+      break;
+    case ColumnType::kString:
+      if (!std::holds_alternative<std::string>(pred.literal)) {
+        return Status::InvalidArgument("query: predicate on string column '" +
+                                       pred.column +
+                                       "' needs a string literal");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+// Refines `sel` with one (already type-checked) predicate.
+void ApplyPredicate(const Predicate& pred, const scan::ScanColumn& column,
+                    scan::SelVector* sel) {
+  if (const auto* ints = std::get_if<std::vector<int64_t>>(&column)) {
+    scan::FilterInt64(pred.op, *ints, std::get<int64_t>(pred.literal), sel);
+    return;
+  }
+  if (const auto* dbls = std::get_if<std::vector<double>>(&column)) {
+    scan::FilterDouble(pred.op, *dbls, std::get<double>(pred.literal), sel);
+    return;
+  }
+  if (const auto* strs = std::get_if<std::vector<std::string>>(&column)) {
+    scan::FilterString(pred.op, *strs, std::get<std::string>(pred.literal),
+                       sel);
+    return;
+  }
+  scan::FilterDictString(pred.op, std::get<scan::DictStringColumn>(column),
+                         std::get<std::string>(pred.literal), sel);
+}
+
+// True when the block provably contains no row satisfying `pred`, decided
+// from the column's footer zone map alone. Absent columns read as the
+// type's default for every row, i.e. an implicit zone of [0, 0]. Columns
+// with a v1 footer (no zone map) never prune. A literal whose type does
+// not match the column never prunes, so the type error still surfaces at
+// scan time exactly as in the scalar path.
+bool ZonePrunesBlock(const RowBlock& block, const Predicate& pred,
+                     ColumnType expected) {
+  if (pred.op == CompareOp::kContains || pred.op == CompareOp::kPrefix) {
+    return false;
+  }
+  if (ValueType(pred.literal) != expected) return false;
+  const RowBlockColumn* column = block.ColumnByName(pred.column);
+  if (expected == ColumnType::kInt64) {
+    int64_t zone_min = 0, zone_max = 0;
+    if (column != nullptr && !column->ZoneRangeInt64(&zone_min, &zone_max)) {
+      return false;
+    }
+    return scan::ZoneCanPruneInt64(pred.op, zone_min, zone_max,
+                                   std::get<int64_t>(pred.literal));
+  }
+  if (expected == ColumnType::kDouble) {
+    double zone_min = 0.0, zone_max = 0.0;
+    if (column != nullptr && !column->ZoneRangeDouble(&zone_min, &zone_max)) {
+      return false;
+    }
+    return scan::ZoneCanPruneDouble(pred.op, zone_min, zone_max,
+                                    std::get<double>(pred.literal));
+  }
+  return false;  // no zone maps for string columns
+}
+
+Status ProcessChunkVectorized(LazyColumns* cols, const Query& query,
+                              const TypeMap& types, QueryResult* result) {
+  result->rows_scanned += cols->rows();
+
+  SCUBA_ASSIGN_OR_RETURN(const scan::ScanColumn* time_col,
+                         cols->Get(kTimeColumnName));
+  const auto* times = std::get_if<std::vector<int64_t>>(time_col);
+  if (times == nullptr) {
+    return Status::InvalidArgument("query: 'time' column is not int64");
+  }
+  scan::SelVector sel;
+  scan::SelectTimeRange(*times, query.begin_time, query.end_time, &sel);
+
+  for (const Predicate& pred : query.predicates) {
+    if (sel.empty()) break;
+    SCUBA_RETURN_IF_ERROR(CheckPredicateTypes(pred, types.at(pred.column)));
+    SCUBA_ASSIGN_OR_RETURN(const scan::ScanColumn* col,
+                           cols->Get(pred.column));
+    ApplyPredicate(pred, *col, &sel);
+  }
+  result->rows_matched += sel.size();
+  if (sel.empty()) return Status::OK();
+
+  // Only now — with survivors known — decode group-by/aggregate columns.
+  std::vector<const scan::ScanColumn*> group_cols(query.group_by.size());
+  for (size_t g = 0; g < query.group_by.size(); ++g) {
+    SCUBA_ASSIGN_OR_RETURN(group_cols[g], cols->Get(query.group_by[g]));
+  }
+  std::vector<const scan::ScanColumn*> agg_cols(query.aggregates.size(),
+                                                nullptr);
+  for (size_t a = 0; a < query.aggregates.size(); ++a) {
+    const Aggregate& agg = query.aggregates[a];
+    if (agg.op == AggregateOp::kCount) continue;
+    if (types.at(agg.column) == ColumnType::kString) {
+      return Status::InvalidArgument("query: aggregate over string column '" +
+                                     agg.column + "'");
+    }
+    SCUBA_ASSIGN_OR_RETURN(agg_cols[a], cols->Get(agg.column));
+  }
+
+  const bool bucketed = query.time_bucket_seconds > 0;
+  const size_t key_offset = bucketed ? 1 : 0;
+  std::vector<Value> group_key(query.group_by.size() + key_offset);
+  std::vector<QueryResult::Sample> samples(query.aggregates.size());
+
+  for (uint32_t row : sel) {
+    if (bucketed) {
+      group_key[0] = TimeBucket((*times)[row], query.time_bucket_seconds);
+    }
+    for (size_t g = 0; g < query.group_by.size(); ++g) {
+      group_key[g + key_offset] = scan::ScanCellValue(*group_cols[g], row);
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      if (agg_cols[a] == nullptr) {
+        samples[a] = {0.0, false};
+      } else {
+        samples[a] = {scan::ScanNumericCell(*agg_cols[a], row), true};
+      }
+    }
+    result->Accumulate(group_key, samples);
+  }
+  return Status::OK();
+}
+
+Status ScanBlock(const RowBlock& block, const Query& query,
+                 const TypeMap& types, QueryResult* result) {
+  const size_t rows = block.header().row_count;
+  LazyColumns cols(rows, [&](const std::string& name, scan::ScanColumn* out) {
+    return LoadBlockColumn(block, types, rows, name, out);
+  });
+  SCUBA_RETURN_IF_ERROR(ProcessChunkVectorized(&cols, query, types, result));
+  ++result->blocks_scanned;
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
                                             const Query& query) {
+  return Execute(table, query, ExecOptions{});
+}
+
+StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
+                                            const Query& query,
+                                            const ExecOptions& options) {
+  SCUBA_RETURN_IF_ERROR(query.Validate());
+
+  QueryResult result(query.aggregates);
+  std::set<std::string> needed = NeededColumns(query);
+  SCUBA_ASSIGN_OR_RETURN(TypeMap types, ResolveTypes(table, query, needed));
+
+  // Predicates evaluate left to right with short-circuiting, so pruning a
+  // block via predicate j is only equivalent to scanning it when
+  // predicates 1..j-1 cannot fail on it: a mistyped earlier predicate
+  // would have raised its error on the first selected row. Only the
+  // well-typed predicate prefix is prune-eligible; a block that a later
+  // predicate could have pruned is scanned instead so the error surfaces
+  // exactly as in the scalar engine.
+  size_t prunable_predicates = 0;
+  while (prunable_predicates < query.predicates.size()) {
+    const Predicate& pred = query.predicates[prunable_predicates];
+    if (!CheckPredicateTypes(pred, types.at(pred.column)).ok()) break;
+    ++prunable_predicates;
+  }
+
+  // Pruning pass: header time range first, then per-predicate zone maps.
+  // Both decide from fixed-size metadata without decoding the block.
+  std::vector<const RowBlock*> to_scan;
+  to_scan.reserve(table.num_row_blocks());
+  for (size_t b = 0; b < table.num_row_blocks(); ++b) {
+    const RowBlock* block = table.row_block(b);
+    if (block == nullptr) continue;
+    if (!block->OverlapsTimeRange(query.begin_time, query.end_time)) {
+      ++result.blocks_pruned;
+      continue;
+    }
+    bool pruned = false;
+    for (size_t p = 0; p < prunable_predicates; ++p) {
+      const Predicate& pred = query.predicates[p];
+      if (ZonePrunesBlock(*block, pred, types.at(pred.column))) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) {
+      ++result.blocks_pruned;
+      continue;
+    }
+    to_scan.push_back(block);
+  }
+
+  // One partial per surviving block, merged in block order below: the
+  // result is bit-identical for every thread count, serial included.
+  std::vector<QueryResult> partials(to_scan.size(),
+                                    QueryResult(query.aggregates));
+  SCUBA_RETURN_IF_ERROR(
+      ParallelFor(options.pool, to_scan.size(), [&](size_t i) {
+        return ScanBlock(*to_scan[i], query, types, &partials[i]);
+      }));
+  for (const QueryResult& partial : partials) result.Merge(partial);
+
+  // The write buffer scans last, on the calling thread, into its own
+  // partial: merging it like a block keeps aggregate rounding identical to
+  // a run where the same rows have already been sealed into a block (the
+  // restart round-trip property tests compare results bit-for-bit).
+  if (!table.write_buffer().empty()) {
+    const WriteBuffer& buffer = table.write_buffer();
+    LazyColumns cols(buffer.row_count(),
+                     [&](const std::string& name, scan::ScanColumn* out) {
+                       return LoadBufferColumn(buffer, types, name, out);
+                     });
+    QueryResult partial(query.aggregates);
+    SCUBA_RETURN_IF_ERROR(
+        ProcessChunkVectorized(&cols, query, types, &partial));
+    result.Merge(partial);
+  }
+  return result;
+}
+
+StatusOr<QueryResult> LeafExecutor::ExecuteScalar(const Table& table,
+                                                  const Query& query) {
   SCUBA_RETURN_IF_ERROR(query.Validate());
 
   QueryResult result(query.aggregates);
@@ -304,7 +660,7 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
     }
     DecodedChunk chunk;
     SCUBA_RETURN_IF_ERROR(DecodeBlock(*block, needed, types, &chunk));
-    SCUBA_RETURN_IF_ERROR(ProcessChunk(chunk, query, &result));
+    SCUBA_RETURN_IF_ERROR(ProcessChunkScalar(chunk, query, &result));
     ++result.blocks_scanned;
   }
 
@@ -312,7 +668,7 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
     DecodedChunk chunk;
     SCUBA_RETURN_IF_ERROR(
         DecodeBuffer(table.write_buffer(), needed, types, &chunk));
-    SCUBA_RETURN_IF_ERROR(ProcessChunk(chunk, query, &result));
+    SCUBA_RETURN_IF_ERROR(ProcessChunkScalar(chunk, query, &result));
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include "query/query.h"
 #include "query/result.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace scuba {
 
@@ -13,9 +14,21 @@ namespace scuba {
 ///  1. Row blocks whose [min_time, max_time] misses the query's time range
 ///     are pruned without decoding ("the minimum and maximum timestamps
 ///     are used to decide whether to even look at a row block", §2.1).
-///  2. Surviving blocks decode only the columns the query touches.
-///  3. Rows are filtered (time range + predicates), grouped, aggregated.
-///  4. Buffered (not-yet-sealed) rows are scanned too, so fresh inserts
+///  2. Per-column zone maps (layout v2 footers) extend the same pruning to
+///     comparison predicates on int64/double columns: a block whose
+///     min/max range cannot satisfy a predicate is skipped undecoded.
+///  3. Surviving blocks are scanned with a vectorized kernel pipeline:
+///     predicates are type-checked once per chunk and refine a selection
+///     vector through tight typed loops; dictionary-encoded string columns
+///     are filtered by dictionary code without materializing strings.
+///     Decode is lazy — predicate columns first; group-by and aggregate
+///     columns only if any row survived the filters.
+///  4. Matching rows are grouped and aggregated into a per-block partial
+///     result; partials merge in block order (deterministic for any thread
+///     count). With ExecOptions::pool set, blocks fan out across the
+///     worker pool; the merge is associative, the same property the
+///     aggregation tree relies on across leaves.
+///  5. Buffered (not-yet-sealed) rows are scanned too, so fresh inserts
 ///     are visible immediately.
 ///
 /// Columns missing from a block's schema read as the column type's default
@@ -23,7 +36,27 @@ namespace scuba {
 /// whose type differs across blocks fails with InvalidArgument.
 class LeafExecutor {
  public:
+  /// Knobs for one execution.
+  struct ExecOptions {
+    /// Worker pool for the per-row-block fan-out; nullptr scans serially
+    /// on the calling thread. Results are identical either way.
+    ThreadPool* pool = nullptr;
+  };
+
+  /// Vectorized execution (serial block scan).
   static StatusOr<QueryResult> Execute(const Table& table, const Query& query);
+
+  /// Vectorized execution with explicit options (parallel block scan when
+  /// options.pool is set).
+  static StatusOr<QueryResult> Execute(const Table& table, const Query& query,
+                                       const ExecOptions& options);
+
+  /// The retained row-at-a-time reference implementation: one block at a
+  /// time, full column materialization, per-cell predicate dispatch. Kept
+  /// as the differential-testing oracle and the bench baseline; no zone
+  /// map pruning, no dictionary-aware filtering, no lazy decode.
+  static StatusOr<QueryResult> ExecuteScalar(const Table& table,
+                                             const Query& query);
 };
 
 }  // namespace scuba

@@ -1,8 +1,61 @@
 #include "query/result.h"
 
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
 #include "util/byte_buffer.h"
 
 namespace scuba {
+namespace {
+
+// 64-bit mix (boost::hash_combine style, golden-ratio constant widened).
+void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ull + (*seed << 6) + (*seed >> 2);
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+size_t QueryResult::KeyHash::operator()(const std::vector<Value>& key) const {
+  size_t seed = key.size();
+  for (const Value& v : key) {
+    HashCombine(&seed, v.index());
+    switch (ValueType(v)) {
+      case ColumnType::kInt64:
+        HashCombine(&seed, std::hash<uint64_t>{}(
+                               static_cast<uint64_t>(std::get<int64_t>(v))));
+        break;
+      case ColumnType::kDouble:
+        HashCombine(&seed,
+                    std::hash<uint64_t>{}(DoubleBits(std::get<double>(v))));
+        break;
+      case ColumnType::kString:
+        HashCombine(&seed, std::hash<std::string>{}(std::get<std::string>(v)));
+        break;
+    }
+  }
+  return seed;
+}
+
+bool QueryResult::KeyEq::operator()(const std::vector<Value>& a,
+                                    const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].index() != b[i].index()) return false;
+    if (const double* da = std::get_if<double>(&a[i])) {
+      if (DoubleBits(*da) != DoubleBits(std::get<double>(b[i]))) return false;
+    } else if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
 
 std::string QueryResult::EncodeKey(const std::vector<Value>& key) {
   ByteBuffer buf;
@@ -19,8 +72,7 @@ std::string QueryResult::EncodeKey(const std::vector<Value>& key) {
         break;
       }
       case ColumnType::kDouble: {
-        uint64_t bits;
-        std::memcpy(&bits, &std::get<double>(v), 8);
+        uint64_t bits = DoubleBits(std::get<double>(v));
         // Total-order trick: positive doubles flip sign bit, negatives
         // flip all bits.
         bits = (bits & (1ull << 63)) ? ~bits : (bits | (1ull << 63));
@@ -42,13 +94,9 @@ std::string QueryResult::EncodeKey(const std::vector<Value>& key) {
 
 void QueryResult::Accumulate(const std::vector<Value>& group_key,
                              const std::vector<Sample>& samples) {
-  std::string key = EncodeKey(group_key);
-  auto [it, inserted] = groups_.try_emplace(std::move(key));
+  auto [it, inserted] = groups_.try_emplace(group_key);
   Group& group = it->second;
-  if (inserted) {
-    group.key = group_key;
-    group.partials.resize(ops_.size());
-  }
+  if (inserted) group.partials.resize(ops_.size());
   for (size_t i = 0; i < samples.size() && i < group.partials.size(); ++i) {
     if (samples[i].has_sample) {
       group.partials[i].AddSample(samples[i].value,
@@ -64,10 +112,7 @@ void QueryResult::Merge(const QueryResult& other) {
   for (const auto& [key, other_group] : other.groups_) {
     auto [it, inserted] = groups_.try_emplace(key);
     Group& group = it->second;
-    if (inserted) {
-      group.key = other_group.key;
-      group.partials.resize(ops_.size());
-    }
+    if (inserted) group.partials.resize(ops_.size());
     for (size_t i = 0;
          i < other_group.partials.size() && i < group.partials.size(); ++i) {
       group.partials[i].Merge(other_group.partials[i]);
@@ -83,17 +128,35 @@ void QueryResult::Merge(const QueryResult& other) {
 
 std::vector<ResultRow> QueryResult::Finalize(
     const std::vector<Aggregate>& aggregates, uint64_t limit) const {
-  std::vector<ResultRow> rows;
-  rows.reserve(limit > 0 ? std::min<uint64_t>(limit, groups_.size())
-                         : groups_.size());
+  // Deterministic output order: sort group pointers by the order-preserving
+  // key encoding (computed once per GROUP here, not once per ROW as the old
+  // map-keyed accumulation did).
+  struct SortEntry {
+    std::string encoded;
+    const std::vector<Value>* key;
+    const Group* group;
+  };
+  std::vector<SortEntry> order;
+  order.reserve(groups_.size());
   for (const auto& [key, group] : groups_) {
+    order.push_back(SortEntry{EncodeKey(key), &key, &group});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const SortEntry& a, const SortEntry& b) {
+              return a.encoded < b.encoded;
+            });
+
+  std::vector<ResultRow> rows;
+  rows.reserve(limit > 0 ? std::min<uint64_t>(limit, order.size())
+                         : order.size());
+  for (const SortEntry& entry : order) {
     if (limit > 0 && rows.size() >= limit) break;
     ResultRow row;
-    row.group_key = group.key;
+    row.group_key = *entry.key;
     row.aggregates.reserve(aggregates.size());
     for (size_t i = 0; i < aggregates.size(); ++i) {
-      double v = i < group.partials.size()
-                     ? group.partials[i].Finalize(aggregates[i].op)
+      double v = i < entry.group->partials.size()
+                     ? entry.group->partials[i].Finalize(aggregates[i].op)
                      : 0.0;
       row.aggregates.push_back(v);
     }

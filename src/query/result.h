@@ -2,8 +2,8 @@
 #define SCUBA_QUERY_RESULT_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "columnar/types.h"
@@ -125,15 +125,28 @@ class QueryResult {
 
  private:
   struct Group {
-    std::vector<Value> key;
     std::vector<AggPartial> partials;
   };
 
+  /// Hash/equality over raw group keys. Doubles hash and compare by BIT
+  /// PATTERN, not operator==: the ordered map this replaced keyed groups by
+  /// their order-preserving byte encoding, under which -0.0 and 0.0 (and
+  /// distinct NaN payloads) were distinct groups, and bit semantics keep
+  /// the hash from ever disagreeing with equality.
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const;
+  };
+
+  /// Order-preserving byte encoding of a group key; used only to sort the
+  /// finalized rows (accumulation no longer encodes a string per row).
   static std::string EncodeKey(const std::vector<Value>& key);
 
   std::vector<AggregateOp> ops_;
-  // Ordered map gives deterministic output ordering by encoded key.
-  std::map<std::string, Group> groups_;
+  std::unordered_map<std::vector<Value>, Group, KeyHash, KeyEq> groups_;
 };
 
 }  // namespace scuba

@@ -1,0 +1,70 @@
+#ifndef SCUBA_QUERY_SCAN_KERNELS_H_
+#define SCUBA_QUERY_SCAN_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "query/query.h"
+
+namespace scuba {
+namespace scan {
+
+/// The vectorized execution primitives (MonetDB/X100-style): predicates are
+/// type-dispatched ONCE per chunk, then refine a selection vector through
+/// tight typed loops — no per-cell variant inspection, no per-cell
+/// StatusOr. Dictionary-encoded string columns are filtered by code
+/// (C-Store-style operation on compressed data): the predicate runs once
+/// per distinct dictionary entry, never materializing per-row strings.
+
+/// Indexes of the rows still selected, ascending.
+using SelVector = std::vector<uint32_t>;
+
+/// Dictionary view of a string column: `codes[row]` indexes into `dict`.
+struct DictStringColumn {
+  std::vector<std::string> dict;
+  std::vector<uint32_t> codes;
+};
+
+/// One decoded column of a scan chunk. String columns stay in dictionary
+/// form whenever the stored encoding allows it.
+using ScanColumn = std::variant<std::vector<int64_t>, std::vector<double>,
+                                std::vector<std::string>, DictStringColumn>;
+
+/// Number of rows in a scan column.
+size_t ScanColumnSize(const ScanColumn& column);
+
+/// Cell accessors for the (non-hot) group-key / aggregate-input reads.
+Value ScanCellValue(const ScanColumn& column, uint32_t row);
+double ScanNumericCell(const ScanColumn& column, uint32_t row);
+
+/// Builds the initial selection: rows whose time lies in [begin, end].
+void SelectTimeRange(const std::vector<int64_t>& times, int64_t begin,
+                     int64_t end, SelVector* sel);
+
+/// Refine `sel` in place, keeping rows where `values[row] <op> literal`.
+/// kContains/kPrefix are string-only; callers type-check before dispatch.
+void FilterInt64(CompareOp op, const std::vector<int64_t>& values,
+                 int64_t literal, SelVector* sel);
+void FilterDouble(CompareOp op, const std::vector<double>& values,
+                  double literal, SelVector* sel);
+void FilterString(CompareOp op, const std::vector<std::string>& values,
+                  const std::string& literal, SelVector* sel);
+void FilterDictString(CompareOp op, const DictStringColumn& column,
+                      const std::string& literal, SelVector* sel);
+
+/// Zone-map pruning decision: true when NO value inside the closed range
+/// [zone_min, zone_max] can satisfy `<op> literal`, so the whole block can
+/// be skipped without decoding (the generalization of the min/max-time
+/// pruning of §2.1 to arbitrary numeric columns). kContains/kPrefix never
+/// prune.
+bool ZoneCanPruneInt64(CompareOp op, int64_t zone_min, int64_t zone_max,
+                       int64_t literal);
+bool ZoneCanPruneDouble(CompareOp op, double zone_min, double zone_max,
+                        double literal);
+
+}  // namespace scan
+}  // namespace scuba
+
+#endif  // SCUBA_QUERY_SCAN_KERNELS_H_

@@ -1,7 +1,7 @@
 #include "server/aggregator.h"
 
-#include <mutex>
-#include <thread>
+#include <algorithm>
+#include <optional>
 
 namespace scuba {
 
@@ -37,30 +37,36 @@ StatusOr<QueryResult> Aggregator::ExecuteParallel(const Query& query) {
   QueryResult merged(query.aggregates);
   merged.leaves_total = static_cast<uint32_t>(leaves_.size());
 
-  std::mutex merge_mutex;
-  Status first_error;  // OK unless a leaf hit a real (non-Unavailable) error
-
-  std::vector<std::thread> workers;
-  workers.reserve(leaves_.size());
-  for (LeafServer* leaf : leaves_) {
-    workers.emplace_back([&, leaf] {
-      auto result = leaf->ExecuteQuery(query);
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      if (!result.ok()) {
-        if (!result.status().IsUnavailable() && first_error.ok()) {
-          first_error = result.status();
-        }
-        return;
-      }
-      result->leaves_total = 0;
-      result->leaves_responded = 0;
-      merged.Merge(*result);  // merge as results arrive (§2)
-      ++merged.leaves_responded;
-    });
+  // Lazily build the shared fan-out pool the first parallel query needs it
+  // (previously: one std::thread spawned per leaf per query). Queries with
+  // more leaves than workers just queue; the pool size stays fixed.
+  if (fanout_pool_ == nullptr && leaves_.size() > 1) {
+    fanout_pool_ = std::make_unique<ThreadPool>(
+        std::min(leaves_.size(), kMaxFanoutThreads));
   }
-  for (std::thread& worker : workers) worker.join();
 
-  if (!first_error.ok()) return first_error;
+  // Each leaf writes only its own slot — no merge lock; the merge below
+  // walks the slots in leaf order so the output is deterministic and
+  // identical to the sequential fan-out.
+  std::vector<std::optional<StatusOr<QueryResult>>> slots(leaves_.size());
+  Status fanout = ParallelFor(fanout_pool_.get(), leaves_.size(),
+                              [&](size_t i) -> Status {
+                                slots[i] = leaves_[i]->ExecuteQuery(query);
+                                return Status::OK();
+                              });
+  SCUBA_RETURN_IF_ERROR(fanout);  // the tasks themselves never fail
+
+  for (std::optional<StatusOr<QueryResult>>& slot : slots) {
+    StatusOr<QueryResult>& result = *slot;
+    if (!result.ok()) {
+      if (result.status().IsUnavailable()) continue;
+      return result.status();
+    }
+    result->leaves_total = 0;
+    result->leaves_responded = 0;
+    merged.Merge(*result);
+    ++merged.leaves_responded;
+  }
   return merged;
 }
 

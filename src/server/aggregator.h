@@ -1,12 +1,14 @@
 #ifndef SCUBA_SERVER_AGGREGATOR_H_
 #define SCUBA_SERVER_AGGREGATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "query/query.h"
 #include "query/result.h"
 #include "server/leaf_server.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace scuba {
 
@@ -34,10 +36,10 @@ class Aggregator {
   /// Fans the query out to every registered leaf and merges the partials.
   /// Individual leaf Unavailable states are recorded (partial result),
   /// not propagated; real query errors are propagated.
-  /// With parallel fan-out enabled, leaves execute on separate threads and
-  /// results are merged as they arrive (§2: "the aggregator servers
-  /// distribute a query to all leaves and then aggregate the results as
-  /// they arrive from the leaves").
+  /// With parallel fan-out enabled, leaves execute on a shared worker pool
+  /// (§2: "the aggregator servers distribute a query to all leaves and
+  /// then aggregate the results as they arrive from the leaves"); partials
+  /// merge in leaf order, so the result matches the sequential fan-out.
   StatusOr<QueryResult> Execute(const Query& query);
 
   /// Enables/disables threaded fan-out (default: sequential — the leaves
@@ -48,11 +50,17 @@ class Aggregator {
   double AvailableFraction() const;
 
  private:
+  /// Fan-out pool cap; queries over more leaves than this queue behind the
+  /// busy workers rather than spawning a thread per leaf.
+  static constexpr size_t kMaxFanoutThreads = 8;
+
   StatusOr<QueryResult> ExecuteSequential(const Query& query);
   StatusOr<QueryResult> ExecuteParallel(const Query& query);
 
   std::vector<LeafServer*> leaves_;
   bool parallel_fanout_ = false;
+  /// Shared across queries; created by the first parallel execution.
+  std::unique_ptr<ThreadPool> fanout_pool_;
 };
 
 }  // namespace scuba

@@ -33,7 +33,11 @@ LeafServer::LeafServer(LeafServerConfig config)
     : config_(std::move(config)),
       restart_manager_(MakeRestartConfig(config_)),
       backup_writer_(config_.backup_dir),
-      columnar_writer_(config_.backup_dir) {}
+      columnar_writer_(config_.backup_dir) {
+  if (config_.num_query_threads > 1) {
+    query_pool_ = std::make_unique<ThreadPool>(config_.num_query_threads);
+  }
+}
 
 void LeafServer::InstallSealObserver(Table* table) {
   if (!UsesColumnarBackup()) return;
@@ -168,8 +172,10 @@ StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query) {
     return Status::Unavailable("table '" + query.table +
                                "' not accepting queries");
   }
+  LeafExecutor::ExecOptions options;
+  options.pool = query_pool_.get();
   SCUBA_ASSIGN_OR_RETURN(QueryResult result,
-                         LeafExecutor::Execute(*table, query));
+                         LeafExecutor::Execute(*table, query, options));
   result.leaves_total = 1;
   result.leaves_responded = 1;
   return result;

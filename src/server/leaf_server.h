@@ -15,6 +15,7 @@
 #include "query/executor.h"
 #include "util/clock.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace scuba {
 
@@ -49,6 +50,11 @@ struct LeafServerConfig {
   /// invariant, widened from one row-block-column to this budget). 0 =
   /// auto: num_copy_threads x the largest copy unit.
   uint64_t max_in_flight_copy_bytes = 0;
+  /// Worker threads for the per-row-block scan fan-out within one query.
+  /// 1 keeps the paper's single-threaded leaf (§2); >1 spawns a leaf-owned
+  /// pool whose size stays fixed for the server's lifetime. Results are
+  /// identical for every setting.
+  size_t num_query_threads = 1;
   /// Time source (simulated in tests; real otherwise).
   Clock* clock = nullptr;
 };
@@ -168,6 +174,10 @@ class LeafServer {
 
   LeafServerConfig config_;
   RestartManager restart_manager_;
+  /// Scan workers shared by every query on this leaf (null when
+  /// num_query_threads <= 1). Created once; queries run one at a time
+  /// under mutex_, so they never contend for the pool.
+  std::unique_ptr<ThreadPool> query_pool_;
 
   mutable std::mutex mutex_;
   LeafStateMachine leaf_state_;

@@ -1,0 +1,257 @@
+// Layout-version compatibility: writers emit RBC footer v2 (zone maps);
+// readers must keep accepting v1 buffers — leaves restarted across the
+// version boundary hand v1 columns through shared memory, and columnar
+// disk backups written before the upgrade hold v1 columns forever.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "columnar/leaf_map.h"
+#include "columnar/row_block.h"
+#include "columnar/row_block_column.h"
+#include "core/restore.h"
+#include "core/shutdown.h"
+#include "disk/columnar_backup.h"
+#include "query/executor.h"
+#include "test_util.h"
+#include "util/byte_buffer.h"
+#include "util/crc32c.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+using testing_util::ShmNamespace;
+using testing_util::TempDir;
+
+// Rewrites a (v2) column buffer into the v1 layout: drop the zone-map
+// fields, keep the trailing [uncompressed | checksum | end magic] 16
+// bytes, stamp version 1, fix total bytes, recompute the CRC. This is
+// byte-for-byte what the previous release's writer produced.
+RowBlockColumn ToV1(const RowBlockColumn& column) {
+  Slice v2 = column.AsSlice();
+  EXPECT_EQ(column.version(), RowBlockColumn::kVersion);
+  const size_t shrink =
+      RowBlockColumn::kFooterSizeV2 - RowBlockColumn::kFooterSizeV1;
+  const size_t v1_total = v2.size() - shrink;
+  const size_t body = v2.size() - RowBlockColumn::kFooterSizeV2;
+
+  std::unique_ptr<uint8_t[]> buf(new uint8_t[v1_total]);
+  std::memcpy(buf.get(), v2.data(), body);
+  std::memcpy(buf.get() + body, v2.data() + v2.size() - 16, 16);
+  buf[4] = 1;  // version (u16 little-endian at offset 4)
+  buf[5] = 0;
+  ByteBuffer::EncodeU64(buf.get() + 16, v1_total);  // total bytes
+  uint32_t crc = crc32c::Value(buf.get(), v1_total - 8);
+  ByteBuffer::EncodeU32(buf.get() + v1_total - 8, crc32c::Mask(crc));
+
+  auto v1 = RowBlockColumn::FromBuffer(std::move(buf), v1_total);
+  EXPECT_TRUE(v1.ok()) << v1.status().ToString();
+  return std::move(v1).value();
+}
+
+// Rebuilds `block` with every column converted to the v1 layout.
+std::unique_ptr<RowBlock> BlockToV1(const RowBlock& block) {
+  std::vector<std::unique_ptr<RowBlockColumn>> columns;
+  uint64_t size_bytes = 0;
+  for (size_t c = 0; c < block.num_columns(); ++c) {
+    columns.push_back(
+        std::make_unique<RowBlockColumn>(ToV1(*block.column(c))));
+    size_bytes += columns.back()->total_bytes();
+  }
+  RowBlockHeader header = block.header();
+  header.size_bytes = size_bytes;  // v1 footers are 24 bytes smaller
+  auto rebuilt =
+      RowBlock::FromParts(header, block.schema(), std::move(columns));
+  EXPECT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  return std::move(rebuilt).value();
+}
+
+TEST(LayoutVersionTest, WriterEmitsV2WithZoneMaps) {
+  RowBlockColumn ints = RowBlockColumn::BuildInt64({5, -3, 12, 7});
+  EXPECT_EQ(ints.version(), 2);
+  ASSERT_TRUE(ints.HasZoneMap());
+  int64_t mn = 0, mx = 0;
+  ASSERT_TRUE(ints.ZoneRangeInt64(&mn, &mx));
+  EXPECT_EQ(mn, -3);
+  EXPECT_EQ(mx, 12);
+  EXPECT_FALSE(ints.ZoneRangeDouble(nullptr, nullptr));
+
+  RowBlockColumn dbls = RowBlockColumn::BuildDouble({1.5, -2.25, 0.0});
+  ASSERT_TRUE(dbls.HasZoneMap());
+  double dmn = 0, dmx = 0;
+  ASSERT_TRUE(dbls.ZoneRangeDouble(&dmn, &dmx));
+  EXPECT_EQ(dmn, -2.25);
+  EXPECT_EQ(dmx, 1.5);
+
+  // NaN poisons min/max comparisons: no zone map, never pruned.
+  RowBlockColumn nans =
+      RowBlockColumn::BuildDouble({1.0, std::nan(""), 2.0});
+  EXPECT_FALSE(nans.HasZoneMap());
+
+  // Strings and empty columns carry no zone.
+  EXPECT_FALSE(RowBlockColumn::BuildString({"a", "b"}).HasZoneMap());
+  EXPECT_FALSE(RowBlockColumn::BuildInt64({}).HasZoneMap());
+}
+
+TEST(LayoutVersionTest, V1BufferValidatesAndDecodes) {
+  std::vector<int64_t> values = {100, 200, 300, 250, 150};
+  RowBlockColumn v1 = ToV1(RowBlockColumn::BuildInt64(values));
+
+  EXPECT_EQ(v1.version(), 1);
+  EXPECT_TRUE(v1.Validate().ok());
+  EXPECT_FALSE(v1.HasZoneMap());
+  int64_t mn = 0, mx = 0;
+  EXPECT_FALSE(v1.ZoneRangeInt64(&mn, &mx));
+  EXPECT_EQ(v1.uncompressed_bytes(), values.size() * 8);
+
+  std::vector<int64_t> decoded;
+  ASSERT_TRUE(v1.DecodeInt64(&decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(LayoutVersionTest, V1StringColumnKeepsDictionaryAccess) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) values.push_back("svc_" + std::to_string(i % 5));
+  RowBlockColumn v1 = ToV1(RowBlockColumn::BuildString(values));
+
+  std::vector<std::string> decoded;
+  ASSERT_TRUE(v1.DecodeString(&decoded).ok());
+  EXPECT_EQ(decoded, values);
+
+  // The dictionary view comes from the compression chain, not the footer
+  // version: v1 dict-encoded columns still feed the vectorized filter.
+  std::vector<std::string> dict;
+  std::vector<uint32_t> codes;
+  ASSERT_TRUE(v1.DecodeStringDictionary(&dict, &codes).ok());
+  ASSERT_EQ(codes.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(dict[codes[i]], values[i]);
+  }
+}
+
+// A table whose sealed block predates the zone-map footer: queries work,
+// and the block is simply never zone-pruned (blocks_pruned stays 0 for a
+// predicate that WOULD prune the same data in v2 form).
+TEST(LayoutVersionTest, V1BlocksQueryWithoutZonePruning) {
+  Table v2_table("t");
+  ASSERT_TRUE(v2_table.AddRows(MakeRows(300, 1000), 0).ok());
+  ASSERT_TRUE(v2_table.SealWriteBuffer(0).ok());
+
+  Table v1_table("t");
+  v1_table.AdoptRowBlock(BlockToV1(*v2_table.row_block(0)));
+
+  Query q;
+  q.table = "t";
+  // status is 200/500 only: eq 999 would zone-prune a v2 block.
+  q.predicates = {{"status", CompareOp::kEq, Value(int64_t{999})}};
+  q.aggregates = {Count()};
+
+  auto v2_result = LeafExecutor::Execute(v2_table, q);
+  ASSERT_TRUE(v2_result.ok());
+  EXPECT_EQ(v2_result->blocks_pruned, 1u);
+  EXPECT_EQ(v2_result->rows_matched, 0u);
+
+  auto v1_result = LeafExecutor::Execute(v1_table, q);
+  ASSERT_TRUE(v1_result.ok());
+  EXPECT_EQ(v1_result->blocks_pruned, 0u);  // no zone map: must scan
+  EXPECT_EQ(v1_result->blocks_scanned, 1u);
+  EXPECT_EQ(v1_result->rows_matched, 0u);
+
+  // And a matching query returns identical data through both layouts.
+  Query match;
+  match.table = "t";
+  match.predicates = {{"status", CompareOp::kEq, Value(int64_t{500})}};
+  match.group_by = {"service"};
+  match.aggregates = {Count(), Avg("latency_ms")};
+  auto a = LeafExecutor::Execute(v2_table, match);
+  auto b = LeafExecutor::Execute(v1_table, match);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto rows_a = a->Finalize(match.aggregates);
+  auto rows_b = b->Finalize(match.aggregates);
+  ASSERT_EQ(rows_a.size(), rows_b.size());
+  for (size_t r = 0; r < rows_a.size(); ++r) {
+    EXPECT_EQ(rows_a[r].group_key, rows_b[r].group_key);
+    EXPECT_EQ(rows_a[r].aggregates, rows_b[r].aggregates);
+  }
+}
+
+TEST(LayoutVersionTest, V1BlocksRestoreFromShm) {
+  ShmNamespace ns("v1shm");
+  LeafMap leaf_map;
+  {
+    Table staging("t");
+    ASSERT_TRUE(staging.AddRows(MakeRows(400, 1000), 0).ok());
+    ASSERT_TRUE(staging.SealWriteBuffer(0).ok());
+    Table* table = leaf_map.GetOrCreateTable("t");
+    table->AdoptRowBlock(BlockToV1(*staging.row_block(0)));
+  }
+  uint64_t rows_before = leaf_map.TotalRowCount();
+
+  ShutdownOptions sopt;
+  sopt.namespace_prefix = ns.prefix();
+  ShutdownStats sstats;
+  ASSERT_TRUE(ShutdownToShm(&leaf_map, sopt, &sstats).ok());
+
+  LeafMap restored;
+  RestoreOptions ropt;
+  ropt.namespace_prefix = ns.prefix();
+  RestoreStats rstats;
+  ASSERT_TRUE(RestoreFromShm(&restored, ropt, &rstats).ok());
+  EXPECT_EQ(restored.TotalRowCount(), rows_before);
+
+  const RowBlock* block = restored.GetTable("t")->row_block(0);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->ColumnByName("time")->version(), 1);
+  EXPECT_TRUE(block->ColumnByName("time")->Validate().ok());
+
+  Query q;
+  q.table = "t";
+  q.group_by = {"service"};
+  q.aggregates = {Count()};
+  auto result = LeafExecutor::Execute(*restored.GetTable("t"), q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows_matched, rows_before);
+}
+
+TEST(LayoutVersionTest, V1BlocksRecoverFromColumnarDiskBackup) {
+  TempDir dir("v1disk");
+  {
+    Table staging("events");
+    ASSERT_TRUE(staging.AddRows(MakeRows(350, 2000), 0).ok());
+    ASSERT_TRUE(staging.SealWriteBuffer(0).ok());
+    std::unique_ptr<RowBlock> v1_block = BlockToV1(*staging.row_block(0));
+
+    ColumnarBackupWriter writer(dir.path());
+    ASSERT_TRUE(writer.Init().ok());
+    ASSERT_TRUE(writer.OnBlockSealed("events", *v1_block).ok());
+    ASSERT_TRUE(writer.SyncAll().ok());
+  }
+
+  Table recovered("events");
+  ColumnarBackupReader::Options options;
+  ColumnarBackupReader::Stats stats;
+  ASSERT_TRUE(ColumnarBackupReader::RecoverTable(dir.path(), "events",
+                                                 &recovered, options, 0,
+                                                 &stats)
+                  .ok());
+  ASSERT_EQ(recovered.num_row_blocks(), 1u);
+  EXPECT_EQ(recovered.row_block(0)->ColumnByName("time")->version(), 1);
+  EXPECT_EQ(recovered.RowCount(), 350u);
+
+  Query q;
+  q.table = "events";
+  q.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})}};
+  q.aggregates = {Count()};
+  auto result = LeafExecutor::Execute(recovered, q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto scalar = LeafExecutor::ExecuteScalar(recovered, q);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(result->rows_matched, scalar->rows_matched);
+}
+
+}  // namespace
+}  // namespace scuba

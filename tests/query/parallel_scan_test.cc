@@ -1,0 +1,228 @@
+// Parallel per-row-block scan: thread-count independence (bit-identical
+// results for every pool size, because per-block partials always merge in
+// block order), error propagation through the pool, and the plumbing that
+// hands a leaf-owned pool to the executor. Runs under TSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "ingest/row_generator.h"
+#include "query/executor.h"
+#include "server/aggregator.h"
+#include "server/leaf_server.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+using testing_util::ShmNamespace;
+using testing_util::TempDir;
+
+bool SameBits(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+void ExpectBitIdentical(const std::vector<ResultRow>& want,
+                        const std::vector<ResultRow>& got,
+                        const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t r = 0; r < want.size(); ++r) {
+    EXPECT_TRUE(got[r].group_key == want[r].group_key) << label;
+    ASSERT_EQ(got[r].aggregates.size(), want[r].aggregates.size()) << label;
+    for (size_t c = 0; c < want[r].aggregates.size(); ++c) {
+      EXPECT_TRUE(SameBits(got[r].aggregates[c], want[r].aggregates[c]))
+          << label << ": group " << r << " agg " << c << " differs ("
+          << got[r].aggregates[c] << " vs " << want[r].aggregates[c] << ")";
+    }
+  }
+}
+
+// 8 sealed blocks (uneven group mix across blocks) plus optional buffered
+// rows so the pool races real per-block work.
+std::unique_ptr<Table> BuildTable(bool with_buffer) {
+  auto table = std::make_unique<Table>("service_logs");
+  RowGeneratorConfig config;
+  config.seed = 5;
+  config.rows_per_second = 1000;
+  RowGenerator gen(config);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_TRUE(table->AddRows(gen.NextBatch(1500), gen.current_time()).ok());
+    EXPECT_TRUE(table->SealWriteBuffer(0).ok());
+  }
+  if (with_buffer) {
+    EXPECT_TRUE(table->AddRows(gen.NextBatch(700), gen.current_time()).ok());
+  }
+  return table;
+}
+
+Query MixedQuery() {
+  Query q;
+  q.table = "service_logs";
+  q.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})},
+                  {"endpoint", CompareOp::kPrefix,
+                   Value(std::string("/api/v2/endpoint_1"))}};
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Sum("latency_ms"), Avg("bytes_out"),
+                  P99("latency_ms")};
+  return q;
+}
+
+TEST(ParallelScanTest, ResultsIdenticalAcrossPoolSizes) {
+  std::unique_ptr<Table> table = BuildTable(/*with_buffer=*/false);
+  Query q = MixedQuery();
+
+  auto serial = LeafExecutor::Execute(*table, q);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto want = serial->Finalize(q.aggregates);
+
+  for (size_t threads : {2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    LeafExecutor::ExecOptions options;
+    options.pool = &pool;
+    // Twice per pool: reuse must not perturb results either.
+    for (int round = 0; round < 2; ++round) {
+      auto pooled = LeafExecutor::Execute(*table, q, options);
+      ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+      EXPECT_EQ(pooled->rows_matched, serial->rows_matched);
+      EXPECT_EQ(pooled->rows_scanned, serial->rows_scanned);
+      EXPECT_EQ(pooled->blocks_scanned, serial->blocks_scanned);
+      ExpectBitIdentical(want, pooled->Finalize(q.aggregates),
+                         std::to_string(threads) + " threads, round " +
+                             std::to_string(round));
+    }
+  }
+}
+
+TEST(ParallelScanTest, WriteBufferScansWithPooledBlocks) {
+  std::unique_ptr<Table> table = BuildTable(/*with_buffer=*/true);
+  Query q = MixedQuery();
+
+  auto serial = LeafExecutor::Execute(*table, q);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(4);
+  LeafExecutor::ExecOptions options;
+  options.pool = &pool;
+  auto pooled = LeafExecutor::Execute(*table, q, options);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_EQ(pooled->rows_scanned, serial->rows_scanned);
+  ExpectBitIdentical(serial->Finalize(q.aggregates),
+                     pooled->Finalize(q.aggregates), "with write buffer");
+}
+
+TEST(ParallelScanTest, ErrorsPropagateFromWorkerThreads) {
+  std::unique_ptr<Table> table = BuildTable(/*with_buffer=*/true);
+
+  // A per-block failure (string aggregate) must surface through the pool
+  // with the same status code as the serial path.
+  Query bad;
+  bad.table = "service_logs";
+  bad.aggregates = {Sum("endpoint")};
+
+  auto serial = LeafExecutor::Execute(*table, bad);
+  ASSERT_FALSE(serial.ok());
+
+  ThreadPool pool(4);
+  LeafExecutor::ExecOptions options;
+  options.pool = &pool;
+  auto pooled = LeafExecutor::Execute(*table, bad, options);
+  ASSERT_FALSE(pooled.ok());
+  EXPECT_EQ(pooled.status().code(), serial.status().code());
+
+  // The pool survives an error and serves the next query.
+  Query ok = MixedQuery();
+  auto after = LeafExecutor::Execute(*table, ok, options);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(ParallelScanTest, LeafServerThreadCountInvisibleInResults) {
+  ShmNamespace ns("pscan");
+  TempDir dir("pscan");
+
+  auto make_leaf = [&](uint32_t id, size_t threads) {
+    LeafServerConfig config;
+    config.leaf_id = id;
+    config.namespace_prefix = ns.prefix();
+    config.backup_dir = dir.path() + "/leaf_" + std::to_string(id);
+    config.num_query_threads = threads;
+    auto leaf = std::make_unique<LeafServer>(config);
+    EXPECT_TRUE(leaf->Start().ok());
+    // Blocks seal at kMaxRowsPerBlock (64Ki): 150k rows -> 2 sealed
+    // blocks + a buffered tail, so the pool has real per-block work.
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_TRUE(
+          leaf->AddRows("events", MakeRows(50000, 1000 + b * 5000, 9)).ok());
+    }
+    return leaf;
+  };
+  std::unique_ptr<LeafServer> single = make_leaf(0, 1);
+  std::unique_ptr<LeafServer> pooled = make_leaf(1, 3);
+
+  Query q;
+  q.table = "events";
+  q.predicates = {{"status", CompareOp::kEq, Value(int64_t{500})}};
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Avg("latency_ms"), P90("latency_ms")};
+
+  auto a = single->ExecuteQuery(q);
+  auto b = pooled->ExecuteQuery(q);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ExpectBitIdentical(a->Finalize(q.aggregates), b->Finalize(q.aggregates),
+                     "num_query_threads 1 vs 3");
+}
+
+TEST(ParallelScanTest, AggregatorFanoutPoolComposesWithLeafPools) {
+  ShmNamespace ns("pfan");
+  TempDir dir("pfan");
+
+  std::vector<std::unique_ptr<LeafServer>> leaves;
+  Aggregator aggregator;
+  for (uint32_t i = 0; i < 3; ++i) {
+    LeafServerConfig config;
+    config.leaf_id = i;
+    config.namespace_prefix = ns.prefix();
+    config.backup_dir = dir.path() + "/leaf_" + std::to_string(i);
+    config.num_query_threads = 2;  // leaf pools under the fan-out pool
+    leaves.push_back(std::make_unique<LeafServer>(config));
+    ASSERT_TRUE(leaves.back()->Start().ok());
+    ASSERT_TRUE(
+        leaves.back()->AddRows("events", MakeRows(600, 2000 + i, i + 1)).ok());
+    aggregator.AddLeaf(leaves.back().get());
+  }
+
+  Query q;
+  q.table = "events";
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Sum("latency_ms"), P99("latency_ms")};
+
+  auto sequential = aggregator.Execute(q);
+  ASSERT_TRUE(sequential.ok());
+
+  aggregator.SetParallelFanout(true);
+  // Two parallel executions: the shared fan-out pool is created once and
+  // reused; partials merge in leaf order, so both match exactly.
+  auto first = aggregator.Execute(q);
+  auto second = aggregator.Execute(q);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->leaves_responded, 3u);
+
+  ExpectBitIdentical(sequential->Finalize(q.aggregates),
+                     first->Finalize(q.aggregates), "fanout run 1");
+  ExpectBitIdentical(first->Finalize(q.aggregates),
+                     second->Finalize(q.aggregates), "fanout run 2");
+}
+
+}  // namespace
+}  // namespace scuba

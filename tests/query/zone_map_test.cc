@@ -1,0 +1,287 @@
+// Zone-map pruning: comparison predicates on int64/double columns skip
+// whole row blocks from the v2 footer min/max, the generalization of the
+// paper's min/max-time block pruning (§2.1) to arbitrary numeric columns.
+// Pruning must never change results — only blocks_scanned/blocks_pruned.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "columnar/table.h"
+#include "query/executor.h"
+
+namespace scuba {
+namespace {
+
+// One sealed block per call, `shard` spanning [base, base + rows), plus a
+// double `temp` mirroring it and a constant string `tag`.
+void AddBlock(Table* table, int64_t base, size_t rows = 50) {
+  std::vector<Row> batch;
+  for (size_t i = 0; i < rows; ++i) {
+    Row row;
+    row.SetTime(1000 + static_cast<int64_t>(i));
+    row.Set("shard", base + static_cast<int64_t>(i));
+    row.Set("temp", static_cast<double>(base + static_cast<int64_t>(i)));
+    row.Set("tag", std::string("block_") + std::to_string(base));
+    batch.push_back(std::move(row));
+  }
+  ASSERT_TRUE(table->AddRows(batch, 0).ok());
+  ASSERT_TRUE(table->SealWriteBuffer(0).ok());
+}
+
+// 8 blocks: shard ranges [0,50), [100,150), ..., [700,750).
+void FillTable(Table* table) {
+  for (int b = 0; b < 8; ++b) AddBlock(table, b * 100);
+}
+
+QueryResult MustExecute(const Table& table, const Query& q) {
+  auto result = LeafExecutor::Execute(table, q);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *std::move(result);
+}
+
+// Pruning is an optimization, not a semantic: matched rows and groups must
+// equal the scalar engine's (which never zone-prunes).
+void ExpectMatchesScalar(const Table& table, const Query& q) {
+  auto vec = LeafExecutor::Execute(table, q);
+  auto scalar = LeafExecutor::ExecuteScalar(table, q);
+  ASSERT_TRUE(vec.ok());
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(vec->rows_matched, scalar->rows_matched);
+  auto vrows = vec->Finalize(q.aggregates);
+  auto srows = scalar->Finalize(q.aggregates);
+  ASSERT_EQ(vrows.size(), srows.size());
+  for (size_t r = 0; r < vrows.size(); ++r) {
+    EXPECT_EQ(vrows[r].group_key, srows[r].group_key);
+    ASSERT_EQ(vrows[r].aggregates.size(), srows[r].aggregates.size());
+    for (size_t c = 0; c < vrows[r].aggregates.size(); ++c) {
+      EXPECT_DOUBLE_EQ(vrows[r].aggregates[c], srows[r].aggregates[c]);
+    }
+  }
+}
+
+TEST(ZoneMapTest, EqPrunesAllButMatchingBlock) {
+  Table table("t");
+  FillTable(&table);
+  Query q;
+  q.table = "t";
+  q.predicates = {{"shard", CompareOp::kEq, Value(int64_t{425})}};
+  q.aggregates = {Count()};
+
+  QueryResult result = MustExecute(table, q);
+  EXPECT_EQ(result.blocks_scanned, 1u);
+  EXPECT_EQ(result.blocks_pruned, 7u);
+  EXPECT_EQ(result.rows_matched, 1u);
+  ExpectMatchesScalar(table, q);
+}
+
+TEST(ZoneMapTest, RangeOpsPruneByBound) {
+  Table table("t");
+  FillTable(&table);
+
+  struct Case {
+    CompareOp op;
+    int64_t literal;
+    uint64_t expect_scanned;
+  };
+  const Case cases[] = {
+      {CompareOp::kGe, 700, 1},  // only the last block reaches 700
+      {CompareOp::kGt, 749, 0},  // nothing exceeds the global max
+      {CompareOp::kLt, 50, 1},   // only block 0 is below 50
+      {CompareOp::kLe, 149, 2},  // blocks 0 and 1
+      {CompareOp::kEq, 60, 0},   // falls in the gap between blocks
+  };
+  for (const Case& c : cases) {
+    Query q;
+    q.table = "t";
+    q.predicates = {{"shard", c.op, Value(c.literal)}};
+    q.aggregates = {Count()};
+    QueryResult result = MustExecute(table, q);
+    EXPECT_EQ(result.blocks_scanned, c.expect_scanned)
+        << "op " << static_cast<int>(c.op) << " lit " << c.literal;
+    EXPECT_EQ(result.blocks_pruned, 8u - c.expect_scanned);
+    ExpectMatchesScalar(table, q);
+  }
+}
+
+TEST(ZoneMapTest, NePrunesOnlySingleValueBlocks) {
+  Table table("t");
+  // A block where every shard value is 7, and one with a spread.
+  std::vector<Row> constant;
+  for (int i = 0; i < 20; ++i) {
+    Row row;
+    row.SetTime(1000);
+    row.Set("shard", int64_t{7});
+    constant.push_back(std::move(row));
+  }
+  ASSERT_TRUE(table.AddRows(constant, 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+  AddBlock(&table, 0);
+
+  Query q;
+  q.table = "t";
+  q.predicates = {{"shard", CompareOp::kNe, Value(int64_t{7})}};
+  q.aggregates = {Count()};
+  QueryResult result = MustExecute(table, q);
+  // The all-7 block is provably all-excluded; the spread block must scan.
+  EXPECT_EQ(result.blocks_pruned, 1u);
+  EXPECT_EQ(result.blocks_scanned, 1u);
+  EXPECT_EQ(result.rows_matched, 49u);  // [0,50) minus the shard==7 row
+  ExpectMatchesScalar(table, q);
+}
+
+TEST(ZoneMapTest, DoubleColumnPrunes) {
+  Table table("t");
+  FillTable(&table);
+  Query q;
+  q.table = "t";
+  q.predicates = {{"temp", CompareOp::kGe, Value(600.0)}};
+  q.group_by = {"tag"};
+  q.aggregates = {Count(), Avg("temp")};
+
+  QueryResult result = MustExecute(table, q);
+  EXPECT_EQ(result.blocks_scanned, 2u);  // blocks 6 and 7
+  EXPECT_EQ(result.blocks_pruned, 6u);
+  ExpectMatchesScalar(table, q);
+}
+
+TEST(ZoneMapTest, AbsentColumnHasImplicitZeroZone) {
+  Table table("t");
+  FillTable(&table);
+
+  // A column no block carries reads as its default (0) for every row: the
+  // implicit zone [0, 0] prunes everything for literals off zero...
+  Query q;
+  q.table = "t";
+  q.predicates = {{"nonexistent", CompareOp::kEq, Value(int64_t{1})}};
+  q.aggregates = {Count()};
+  QueryResult result = MustExecute(table, q);
+  EXPECT_EQ(result.blocks_scanned, 0u);
+  EXPECT_EQ(result.blocks_pruned, 8u);
+  EXPECT_EQ(result.rows_matched, 0u);
+  ExpectMatchesScalar(table, q);
+
+  // ...and prunes nothing for eq 0, where every row matches.
+  q.predicates = {{"nonexistent", CompareOp::kEq, Value(int64_t{0})}};
+  result = MustExecute(table, q);
+  EXPECT_EQ(result.blocks_scanned, 8u);
+  EXPECT_EQ(result.rows_matched, 400u);
+  ExpectMatchesScalar(table, q);
+}
+
+TEST(ZoneMapTest, PartiallyAbsentColumnPrunesPerBlock) {
+  Table table("t");
+  AddBlock(&table, 500);  // has `shard` in [500, 550)
+  std::vector<Row> no_shard;
+  for (int i = 0; i < 30; ++i) {
+    Row row;
+    row.SetTime(1000);
+    row.Set("other", int64_t{1});
+    no_shard.push_back(std::move(row));
+  }
+  ASSERT_TRUE(table.AddRows(no_shard, 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+
+  Query q;
+  q.table = "t";
+  q.predicates = {{"shard", CompareOp::kGe, Value(int64_t{500})}};
+  q.aggregates = {Count()};
+  QueryResult result = MustExecute(table, q);
+  // The shard-less block reads default 0 for every row: pruned via the
+  // implicit [0, 0] zone. The shard block scans.
+  EXPECT_EQ(result.blocks_scanned, 1u);
+  EXPECT_EQ(result.blocks_pruned, 1u);
+  EXPECT_EQ(result.rows_matched, 50u);
+  ExpectMatchesScalar(table, q);
+}
+
+TEST(ZoneMapTest, MismatchedLiteralTypeStillErrors) {
+  Table table("t");
+  FillTable(&table);
+
+  // Even though the zone map could "prove" no match, a type error must
+  // surface exactly as it does in the scalar engine.
+  Query q;
+  q.table = "t";
+  q.predicates = {{"shard", CompareOp::kEq, Value(std::string("425"))}};
+  q.aggregates = {Count()};
+  auto vec = LeafExecutor::Execute(table, q);
+  auto scalar = LeafExecutor::ExecuteScalar(table, q);
+  ASSERT_FALSE(vec.ok());
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_EQ(vec.status().code(), scalar.status().code());
+  EXPECT_EQ(vec.status().message(), scalar.status().message());
+
+  q.predicates = {{"shard", CompareOp::kEq, Value(425.0)}};
+  EXPECT_FALSE(LeafExecutor::Execute(table, q).ok());
+}
+
+TEST(ZoneMapTest, TextOperatorsNeverPrune) {
+  Table table("t");
+  FillTable(&table);
+  Query q;
+  q.table = "t";
+  q.predicates = {{"tag", CompareOp::kPrefix, Value(std::string("block_3"))}};
+  q.aggregates = {Count()};
+  QueryResult result = MustExecute(table, q);
+  EXPECT_EQ(result.blocks_pruned, 0u);
+  EXPECT_EQ(result.blocks_scanned, 8u);
+  EXPECT_EQ(result.rows_matched, 50u);
+  ExpectMatchesScalar(table, q);
+}
+
+TEST(ZoneMapTest, NanDoubleColumnDisablesPruning) {
+  Table table("t");
+  std::vector<Row> batch;
+  for (int i = 0; i < 10; ++i) {
+    Row row;
+    row.SetTime(1000);
+    row.Set("temp", i == 5 ? std::nan("") : static_cast<double>(i));
+    batch.push_back(std::move(row));
+  }
+  ASSERT_TRUE(table.AddRows(batch, 0).ok());
+  ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+
+  Query q;
+  q.table = "t";
+  q.predicates = {{"temp", CompareOp::kGe, Value(100.0)}};
+  q.aggregates = {Count()};
+  QueryResult result = MustExecute(table, q);
+  // No zone map on a NaN-bearing column: the block is scanned, not pruned.
+  EXPECT_EQ(result.blocks_scanned, 1u);
+  EXPECT_EQ(result.blocks_pruned, 0u);
+  EXPECT_EQ(result.rows_matched, 0u);
+}
+
+TEST(ZoneMapTest, TimeRangeAndZonePruningCompose) {
+  Table table("t");
+  // Two epochs x two shard ranges; header time pruning removes one axis,
+  // zone maps the other.
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    for (int s = 0; s < 2; ++s) {
+      std::vector<Row> batch;
+      for (int i = 0; i < 25; ++i) {
+        Row row;
+        row.SetTime(1000 + epoch * 1000 + i);
+        row.Set("shard", static_cast<int64_t>(s * 100 + i));
+        batch.push_back(std::move(row));
+      }
+      ASSERT_TRUE(table.AddRows(batch, 0).ok());
+      ASSERT_TRUE(table.SealWriteBuffer(0).ok());
+    }
+  }
+
+  Query q;
+  q.table = "t";
+  q.begin_time = 2000;  // drops epoch 0 via header min/max time
+  q.predicates = {{"shard", CompareOp::kGe, Value(int64_t{100})}};
+  q.aggregates = {Count()};
+  QueryResult result = MustExecute(table, q);
+  EXPECT_EQ(result.blocks_scanned, 1u);  // epoch 1, shard range [100, 125)
+  EXPECT_EQ(result.blocks_pruned, 3u);
+  EXPECT_EQ(result.rows_matched, 25u);
+  ExpectMatchesScalar(table, q);
+}
+
+}  // namespace
+}  // namespace scuba
