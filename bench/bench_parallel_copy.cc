@@ -16,6 +16,7 @@
 #include "core/footprint.h"
 #include "core/restore.h"
 #include "core/shutdown.h"
+#include "obs/metrics.h"
 #include "shm/shm_segment.h"
 
 namespace scuba {
@@ -181,6 +182,7 @@ int Run(const std::string& json_path) {
   }
   std::printf("  footprint: within budget bound in every configuration\n");
 
+  json.Section("metrics", obs::MetricsRegistry::Global().ToJson());
   if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
   return 0;
 }

@@ -16,9 +16,8 @@
 // Every vectorized run is checked against the scalar result (groups and
 // matched rows must agree).
 //
-// Usage: bench_query [--json <path>]
+// Usage: bench_query [--json <path>] [--smoke]
 
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -28,6 +27,7 @@
 #include "bench_util.h"
 #include "columnar/table.h"
 #include "ingest/row_generator.h"
+#include "obs/metrics.h"
 #include "query/executor.h"
 #include "util/thread_pool.h"
 
@@ -37,8 +37,9 @@ namespace {
 using bench_util::JsonPathFromArgs;
 using bench_util::JsonWriter;
 
-constexpr size_t kRows = 1 << 20;  // ~1M rows across 16 row blocks
-constexpr int kTimedIters = 5;
+// ~1M rows across 16 row blocks; --smoke shrinks to 2 blocks.
+size_t g_rows = 1 << 20;
+int g_timed_iters = 5;
 
 std::unique_ptr<Table> BuildTable() {
   auto table = std::make_unique<Table>("service_logs");
@@ -46,7 +47,7 @@ std::unique_ptr<Table> BuildTable() {
   config.seed = 3;
   config.rows_per_second = 2000;
   RowGenerator gen(config);
-  for (size_t i = 0; i < kRows / 8192; ++i) {
+  for (size_t i = 0; i < g_rows / 8192; ++i) {
     if (!table->AddRows(gen.NextBatch(8192), gen.current_time()).ok()) {
       std::abort();
     }
@@ -64,7 +65,7 @@ int64_t MaxTime(const Table& table) {
 }
 
 struct Timing {
-  double millis = 0.0;  // best of kTimedIters
+  double millis = 0.0;  // best of g_timed_iters
   QueryResult result;
 };
 
@@ -74,14 +75,8 @@ Timing Time(const Run& run) {
   Timing t;
   t.result = run();  // warm-up
   t.millis = 1e30;
-  for (int i = 0; i < kTimedIters; ++i) {
-    auto start = std::chrono::steady_clock::now();
-    t.result = run();
-    auto end = std::chrono::steady_clock::now();
-    double ms =
-        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
-            .count() /
-        1000.0;
+  for (int i = 0; i < g_timed_iters; ++i) {
+    double ms = bench_util::TimedMillis([&] { t.result = run(); });
     t.millis = std::min(t.millis, ms);
   }
   return t;
@@ -144,7 +139,11 @@ void Emit(JsonWriter* json, const std::string& section,
   json->Field("groups", static_cast<uint64_t>(t.result.num_groups()));
 }
 
-int Run(const std::string& json_path) {
+int Run(const std::string& json_path, bool smoke) {
+  if (smoke) {
+    g_rows = 2 * 8192;  // 2 row blocks
+    g_timed_iters = 1;
+  }
   std::unique_ptr<Table> table = BuildTable();
   JsonWriter json("query_engine");
 
@@ -300,14 +299,18 @@ int Run(const std::string& json_path) {
         static_cast<unsigned long long>(total), 100.0 * pruned_frac, speedup);
     Emit(&json, "zone_map", "zone_map_prune", "scalar", 1, scalar, 1.0);
     Emit(&json, "zone_map", "zone_map_prune", "vectorized", 1, vec, speedup);
-    if (pruned_frac < 0.9) {
+    // A smoke run only has 2 blocks, so the 90% bar does not apply.
+    if (!smoke && pruned_frac < 0.9) {
       std::fprintf(stderr, "zone maps pruned only %.0f%% of blocks\n",
                    100.0 * pruned_frac);
       return 1;
     }
   }
 
-  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
+  if (!json_path.empty()) {
+    json.Section("metrics", obs::MetricsRegistry::Global().ToJson());
+    if (!json.WriteTo(json_path)) return 1;
+  }
   return 0;
 }
 
@@ -315,5 +318,6 @@ int Run(const std::string& json_path) {
 }  // namespace scuba
 
 int main(int argc, char** argv) {
-  return scuba::Run(scuba::bench_util::JsonPathFromArgs(argc, argv));
+  return scuba::Run(scuba::bench_util::JsonPathFromArgs(argc, argv),
+                    scuba::bench_util::FlagFromArgs(argc, argv, "--smoke"));
 }

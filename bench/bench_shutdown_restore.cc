@@ -11,6 +11,8 @@
 #include "bench_util.h"
 #include "core/restore.h"
 #include "core/shutdown.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shm/shm_segment.h"
 
 namespace scuba {
@@ -22,7 +24,7 @@ using bench_util::JsonWriter;
 using bench_util::MiB;
 using bench_util::Rate;
 
-int Run(const std::string& json_path) {
+int Run(const std::string& json_path, bool smoke) {
   BenchEnv env("e3");
   JsonWriter json("shutdown_restore");
 
@@ -31,23 +33,34 @@ int Run(const std::string& json_path) {
   std::printf("%10s %14s %14s %14s %14s\n", "leaf_MiB", "shutdown_ms",
               "out_GiB/s", "restore_ms", "back_GiB/s");
 
+  std::vector<uint64_t> targets = {16ull << 20, 64ull << 20, 256ull << 20};
+  if (smoke) targets = {4ull << 20};
+
   double last_out_rate = 0;
   double last_back_rate = 0;
-  for (uint64_t target : {16ull << 20, 64ull << 20, 256ull << 20}) {
+  std::string shutdown_trace_json;
+  std::string restore_trace_json;
+  for (uint64_t target : targets) {
     LeafMap leaf_map;
     uint64_t bytes = FillLeafToBytes(&leaf_map, target);
 
+    obs::PhaseTracer shutdown_tracer;
     ShutdownOptions soptions;
     soptions.namespace_prefix = env.prefix();
+    soptions.tracer = &shutdown_tracer;
     ShutdownStats sstats;
     if (!ShutdownToShm(&leaf_map, soptions, &sstats).ok()) return 1;
+    shutdown_trace_json = shutdown_tracer.ToJson();
 
+    obs::PhaseTracer restore_tracer;
     RestoreOptions roptions;
     roptions.namespace_prefix = env.prefix();
     roptions.verify_checksums = false;  // paper does not checksum
+    roptions.tracer = &restore_tracer;
     RestoreStats rstats;
     LeafMap restored;
     if (!RestoreFromShm(&restored, roptions, &rstats).ok()) return 1;
+    restore_trace_json = restore_tracer.ToJson();
 
     last_out_rate = Rate(sstats.bytes_copied, sstats.elapsed_micros);
     last_back_rate = Rate(rstats.bytes_copied, rstats.elapsed_micros);
@@ -68,12 +81,14 @@ int Run(const std::string& json_path) {
   // segment grows (ftruncate + mremap); overestimates are truncated free
   // of charge at Finish. The factor barely matters — which is why the
   // paper can use a simple estimate.
-  std::printf("\nsize-estimate ablation (128 MiB leaf):\n");
+  const uint64_t ablation_bytes = smoke ? 8ull << 20 : 128ull << 20;
+  std::printf("\nsize-estimate ablation (%.0f MiB leaf):\n",
+              MiB(ablation_bytes));
   std::printf("%18s %14s %14s\n", "estimate_factor", "shutdown_ms",
               "segment_grows");
   for (double factor : {0.1, 0.5, 1.05, 2.0}) {
     LeafMap leaf_map;
-    FillLeafToBytes(&leaf_map, 128ull << 20);
+    FillLeafToBytes(&leaf_map, ablation_bytes);
     ShutdownOptions soptions;
     soptions.namespace_prefix = env.prefix();
     soptions.leaf_id = 7;
@@ -98,7 +113,12 @@ int Run(const std::string& json_path) {
   std::printf("  restore copy-back: %5.1f s   (paper: \"a few seconds\")\n",
               leaf_bytes / last_back_rate);
 
-  if (!json_path.empty() && !json.WriteTo(json_path)) return 1;
+  if (!json_path.empty()) {
+    json.Section("metrics", obs::MetricsRegistry::Global().ToJson());
+    json.Section("shutdown_trace", shutdown_trace_json);
+    json.Section("restore_trace", restore_trace_json);
+    if (!json.WriteTo(json_path)) return 1;
+  }
   return 0;
 }
 
@@ -106,5 +126,6 @@ int Run(const std::string& json_path) {
 }  // namespace scuba
 
 int main(int argc, char** argv) {
-  return scuba::Run(scuba::bench_util::JsonPathFromArgs(argc, argv));
+  return scuba::Run(scuba::bench_util::JsonPathFromArgs(argc, argv),
+                    scuba::bench_util::FlagFromArgs(argc, argv, "--smoke"));
 }

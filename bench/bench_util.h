@@ -13,9 +13,20 @@
 #include "columnar/leaf_map.h"
 #include "ingest/row_generator.h"
 #include "shm/shm_segment.h"
+#include "util/clock.h"
 
 namespace scuba {
 namespace bench_util {
+
+/// The one monotonic timer every bench uses (steady clock, via
+/// util/clock.h's Stopwatch): milliseconds consumed by a single call of
+/// `run`. Benches wanting best-of-N wrap this in their own loop.
+template <typename Run>
+inline double TimedMillis(const Run& run) {
+  Stopwatch watch;
+  run();
+  return static_cast<double>(watch.ElapsedMicros()) / 1000.0;
+}
 
 /// A /dev/shm + /tmp namespace unique to this process, scrubbed on exit.
 class BenchEnv {
@@ -89,10 +100,12 @@ inline double Rate(uint64_t bytes, int64_t micros) {
 }
 
 /// Minimal machine-readable bench output: a flat JSON document of the form
-///   {"bench": "<name>", "results": [{...}, {...}]}
+///   {"bench": "<name>", "results": [{...}, {...}], "<section>": {...}}
 /// where each result row is a string->scalar map. Rows are built with
-/// Row()/Field() and the document written once at the end — enough for the
-/// plotting/CI scripts without dragging in a JSON library.
+/// Row()/Field(); extra top-level sections (e.g. the "metrics" registry
+/// snapshot or a "trace" span timeline) are attached with Section(); the
+/// document is written once at the end — enough for the plotting/CI
+/// scripts without dragging in a JSON library.
 class JsonWriter {
  public:
   explicit JsonWriter(std::string bench_name)
@@ -119,6 +132,19 @@ class JsonWriter {
     Append(key, value ? "true" : "false");
   }
 
+  /// Attaches a pre-encoded JSON value as a top-level section; `raw_json`
+  /// must be valid JSON (e.g. MetricsRegistry::ToJson() or
+  /// PhaseTracer::ToJson()). A repeated key replaces the earlier value.
+  void Section(const std::string& key, std::string raw_json) {
+    for (auto& [k, v] : sections_) {
+      if (k == key) {
+        v = std::move(raw_json);
+        return;
+      }
+    }
+    sections_.emplace_back(key, std::move(raw_json));
+  }
+
   /// Writes the document; returns false (and prints to stderr) on failure.
   bool WriteTo(const std::string& path) const {
     std::ofstream out(path, std::ios::trunc);
@@ -137,7 +163,11 @@ class JsonWriter {
       }
       out << "}";
     }
-    out << "]}\n";
+    out << "]";
+    for (const auto& [key, raw] : sections_) {
+      out << ", \"" << Escaped(key) << "\": " << raw;
+    }
+    out << "}\n";
     return static_cast<bool>(out);
   }
 
@@ -158,6 +188,7 @@ class JsonWriter {
 
   std::string bench_name_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 /// Parses a `--json <path>` argument pair; returns "" when absent.
@@ -166,6 +197,14 @@ inline std::string JsonPathFromArgs(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") return argv[i + 1];
   }
   return "";
+}
+
+/// True when a bare flag (e.g. "--smoke") is present.
+inline bool FlagFromArgs(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
 }
 
 }  // namespace bench_util

@@ -16,13 +16,38 @@ cmake --build build-release -j "${JOBS}"
 ctest --test-dir build-release --output-on-failure -j "${JOBS}"
 
 echo
-echo "=== TSan build + core/shm/util/query suites ==="
+echo "=== Bench smoke: tiny-scale --json runs parse and carry metrics ==="
+cmake --build build-release -j "${JOBS}" \
+  --target bench_shutdown_restore bench_query
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+./build-release/bench/bench_shutdown_restore --smoke \
+  --json "${SMOKE_DIR}/shutdown_restore.json" >/dev/null
+./build-release/bench/bench_query --smoke \
+  --json "${SMOKE_DIR}/query.json" >/dev/null
+python3 - "${SMOKE_DIR}/shutdown_restore.json" "${SMOKE_DIR}/query.json" \
+  <<'PYEOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("results"), f"{path}: empty results"
+    metrics = doc.get("metrics")
+    assert isinstance(metrics, dict), f"{path}: missing metrics block"
+    for key in ("counters", "gauges", "histograms"):
+        assert key in metrics, f"{path}: metrics missing '{key}'"
+    print(f"{path}: OK ({len(doc['results'])} results, "
+          f"{len(metrics['counters'])} counters)")
+PYEOF
+
+echo
+echo "=== TSan build + core/shm/util/query/obs suites ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCUBA_TSAN=ON \
   >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
-  --target util_test shm_test core_test query_test server_test
+  --target util_test shm_test core_test query_test server_test obs_test
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator'
+  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator|ObsMetrics|ObsTracer|RestartTrace'
 
 echo
 echo "=== OK ==="

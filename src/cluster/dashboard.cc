@@ -29,6 +29,17 @@ std::string Dashboard::RenderSample(const DashboardSample& sample,
   return line;
 }
 
+std::string Dashboard::RenderDetailedSample(const DashboardSample& sample,
+                                            size_t bar_width) {
+  std::string line = RenderSample(sample, bar_width);
+  if (sample.phase.empty()) return line;
+  char detail[96];
+  std::snprintf(detail, sizeof(detail), "  | %zu leaves %s %.2f GB/s",
+                sample.restarting_leaves, sample.phase.c_str(),
+                sample.phase_bytes_per_sec / (1024.0 * 1024.0 * 1024.0));
+  return line + detail;
+}
+
 std::string Dashboard::Render(const std::vector<DashboardSample>& timeline,
                               size_t max_rows, size_t bar_width) {
   std::string out;
@@ -42,6 +53,25 @@ std::string Dashboard::Render(const std::vector<DashboardSample>& timeline,
   }
   if ((timeline.size() - 1) % stride != 0) {
     out += RenderSample(timeline.back(), bar_width);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Dashboard::RenderDetailed(
+    const std::vector<DashboardSample>& timeline, size_t max_rows,
+    size_t bar_width) {
+  std::string out;
+  if (timeline.empty()) return out;
+  size_t stride =
+      timeline.size() <= max_rows ? 1 : (timeline.size() + max_rows - 1) /
+                                            max_rows;
+  for (size_t i = 0; i < timeline.size(); i += stride) {
+    out += RenderDetailedSample(timeline[i], bar_width);
+    out += '\n';
+  }
+  if ((timeline.size() - 1) % stride != 0) {
+    out += RenderDetailedSample(timeline.back(), bar_width);
     out += '\n';
   }
   return out;

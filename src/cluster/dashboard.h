@@ -23,6 +23,21 @@ class Dashboard {
   /// Renders one sample as a single bar line.
   static std::string RenderSample(const DashboardSample& sample,
                                   size_t bar_width = 48);
+
+  /// Renders one sample with the live restart detail appended: how many
+  /// leaves are offline, which pipeline phase they are in (copy_out,
+  /// copy_in, disk_read, disk_translate) and the batch's aggregate
+  /// throughput. A sample with no phase renders exactly like RenderSample.
+  ///
+  ///   t=     0s  [oo##..]  old 98%  roll 2%  new 0%  | 16 leaves copy_out 12.3 GB/s
+  static std::string RenderDetailedSample(const DashboardSample& sample,
+                                          size_t bar_width = 48);
+
+  /// Render() with RenderDetailedSample rows: the live view of a rollover,
+  /// per-leaf restart phase and throughput included.
+  static std::string RenderDetailed(const std::vector<DashboardSample>& timeline,
+                                    size_t max_rows = 16,
+                                    size_t bar_width = 48);
 };
 
 }  // namespace scuba

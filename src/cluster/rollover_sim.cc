@@ -3,10 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/random.h"
 
 namespace scuba {
 namespace {
+
+// Process-wide rollover-sim counters (scuba.cluster.rollover.*).
+struct RolloverMetrics {
+  obs::Counter* rollovers;
+  obs::Counter* batches;
+  obs::Counter* leaves_restarted;
+  obs::Counter* disk_fallbacks;
+
+  static RolloverMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static RolloverMetrics m{
+        reg.GetCounter("scuba.cluster.rollover.rollovers"),
+        reg.GetCounter("scuba.cluster.rollover.batches"),
+        reg.GetCounter("scuba.cluster.rollover.leaves_restarted"),
+        reg.GetCounter("scuba.cluster.rollover.disk_fallbacks")};
+    return m;
+  }
+};
 
 // Seconds for one leaf to restart when `contention` leaves share its
 // machine's bandwidth (§4.2: machine bandwidth is constant regardless of
@@ -28,11 +47,35 @@ double LeafRestartSeconds(const RolloverSimConfig& config, RecoveryPath path,
   return read + translate + costs.per_leaf_fixed_seconds;
 }
 
+// The phase schedule of one clean restart under `contention`, named after
+// the tracer spans of the real pipeline. Durations are the cost model's;
+// fixed per-leaf overhead is excluded (it has no meaningful throughput).
+struct PhaseSlice {
+  const char* name;
+  double seconds;
+  double bytes;  // bytes each leaf moves during this phase
+};
+
+std::vector<PhaseSlice> BatchPhases(const RolloverSimConfig& config,
+                                    size_t contention) {
+  const CostModel& costs = config.costs;
+  double bytes = static_cast<double>(config.bytes_per_leaf);
+  double k = static_cast<double>(contention);
+  if (config.path == RecoveryPath::kSharedMemory) {
+    double copy = bytes / costs.ShmCopyRate(k);
+    return {{"copy_out", copy, bytes}, {"copy_in", copy, bytes}};
+  }
+  return {{"disk_read", bytes / (costs.disk_read_bytes_per_sec / k), bytes},
+          {"disk_translate", bytes / costs.DiskTranslateRate(k), bytes}};
+}
+
 }  // namespace
 
 RolloverReport SimulateRollover(const RolloverSimConfig& config) {
   RolloverReport report;
   Random random(config.seed);
+  RolloverMetrics& metrics = RolloverMetrics::Get();
+  metrics.rollovers->Add(1);
 
   const size_t total_leaves = config.num_machines * config.leaves_per_machine;
   if (total_leaves == 0) return report;
@@ -49,15 +92,20 @@ RolloverReport SimulateRollover(const RolloverSimConfig& config) {
   size_t restarted = 0;
   double weighted_online = 0;
 
-  auto sample = [&](size_t restarting) {
+  auto sample_at = [&](size_t restarting, double at) -> DashboardSample& {
     DashboardSample s;
-    s.time_seconds = now;
+    s.time_seconds = at;
+    s.restarting_leaves = restarting;
     s.fraction_restarting =
         static_cast<double>(restarting) / static_cast<double>(total_leaves);
     s.fraction_new =
         static_cast<double>(restarted) / static_cast<double>(total_leaves);
     s.fraction_old = 1.0 - s.fraction_restarting - s.fraction_new;
     report.timeline.push_back(s);
+    return report.timeline.back();
+  };
+  auto sample = [&](size_t restarting) -> DashboardSample& {
+    return sample_at(restarting, now);
   };
 
   sample(0);
@@ -80,6 +128,7 @@ RolloverReport SimulateRollover(const RolloverSimConfig& config) {
       if (config.path == RecoveryPath::kSharedMemory &&
           random.Bernoulli(config.shutdown_kill_probability)) {
         ++report.disk_fallbacks;
+        metrics.disk_fallbacks->Add(1);
         leaf_seconds =
             config.watchdog_timeout_seconds +
             LeafRestartSeconds(config, RecoveryPath::kDisk, per_machine);
@@ -96,9 +145,24 @@ RolloverReport SimulateRollover(const RolloverSimConfig& config) {
         std::min(report.min_data_availability, online);
     weighted_online += online * batch_seconds;
 
+    // Live phase sub-samples: what the batch's leaves are doing and how
+    // fast the batch moves bytes in each phase.
+    double phase_time = now;
+    for (const PhaseSlice& p : BatchPhases(config, per_machine)) {
+      DashboardSample& s = sample_at(batch, phase_time);
+      s.phase = p.name;
+      s.phase_bytes_per_sec =
+          p.seconds > 0
+              ? static_cast<double>(batch) * p.bytes / p.seconds
+              : 0;
+      phase_time += p.seconds;
+    }
+
     now += batch_seconds;
     restarted += batch;
     ++report.num_batches;
+    metrics.batches->Add(1);
+    metrics.leaves_restarted->Add(batch);
     sample(0);  // batch ends: everyone back online
   }
 

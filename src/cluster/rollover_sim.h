@@ -2,6 +2,7 @@
 #define SCUBA_CLUSTER_ROLLOVER_SIM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/cost_model.h"
@@ -41,6 +42,14 @@ struct DashboardSample {
   double fraction_old = 0;         // still on the old version
   double fraction_restarting = 0;  // offline right now
   double fraction_new = 0;         // upgraded and serving
+  /// Enriched live view: how many leaves are offline right now, the
+  /// restart phase they are in (empty between batches and on the plain
+  /// batch-boundary samples), and the batch's aggregate throughput in
+  /// that phase. Phase names follow the tracer span names: copy_out /
+  /// copy_in for the shm path, disk_read / disk_translate for disk.
+  size_t restarting_leaves = 0;
+  std::string phase;
+  double phase_bytes_per_sec = 0;
 };
 
 /// Results of one simulated rollover.

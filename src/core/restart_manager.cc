@@ -1,10 +1,32 @@
 #include "core/restart_manager.h"
 
+#include <fstream>
+#include <sstream>
+
 #include "disk/file.h"
+#include "obs/metrics.h"
 #include "shm/shm_segment.h"
 #include "util/logging.h"
 
 namespace scuba {
+namespace {
+
+// Reconstructs the paper's disk-recovery phase split (Fig 5b: raw read vs
+// decode+rebuild) as a timeline. The readers accumulate read/translate
+// micros but interleave the two phases per record, so the spans are laid
+// end to end inside the measured disk window — same convention as Fig 7's
+// stacked bars.
+void AddDiskPhaseSpans(obs::PhaseTracer* tracer, int64_t window_start,
+                       int64_t read_micros, int64_t translate_micros,
+                       uint64_t bytes_read) {
+  if (tracer == nullptr) return;
+  tracer->AddCompletedSpan("disk_read", window_start,
+                           window_start + read_micros, bytes_read);
+  tracer->AddCompletedSpan("disk_translate", window_start + read_micros,
+                           window_start + read_micros + translate_micros);
+}
+
+}  // namespace
 
 std::string_view RecoverySourceName(RecoverySource source) {
   switch (source) {
@@ -65,15 +87,29 @@ StatusOr<RecoveryResult> RestartManager::Recover(LeafMap* leaf_map,
     return Status::FailedPrecondition("recover: leaf map must be empty");
   }
   RecoveryResult result;
+  obs::PhaseTracer tracer;
+  auto finish = [&](RecoverySource source) {
+    result.source = source;
+    result.trace_json = tracer.ToJson();
+    obs::SetGauge("scuba.core.restart.last_recovery_source",
+                  static_cast<int64_t>(source));
+    std::ostringstream body;
+    body << "\"source\": \"" << RecoverySourceName(source)
+         << "\", \"trace\": " << result.trace_json;
+    WriteReport("recovery", body.str());
+  };
 
   if (config_.memory_recovery_enabled) {
-    Status s = RestoreFromShm(leaf_map, config_.restore, &result.shm_stats);
+    RestoreOptions restore_options = config_.restore;
+    restore_options.tracer = &tracer;
+    Status s = RestoreFromShm(leaf_map, restore_options, &result.shm_stats);
     if (s.ok()) {
-      result.source = RecoverySource::kSharedMemory;
+      finish(RecoverySource::kSharedMemory);
       return result;
     }
     result.shm_attempt_status = s;
     if (!s.IsNotFound()) {
+      obs::IncrCounter("scuba.core.restart.shm_recovery_failures");
       SCUBA_WARN << "leaf " << config_.leaf_id
                  << ": memory recovery unavailable (" << s.ToString()
                  << "); recovering from disk";
@@ -92,9 +128,10 @@ StatusOr<RecoveryResult> RestartManager::Recover(LeafMap* leaf_map,
 
   // Disk path (Fig 5b DISK RECOVERY).
   if (config_.backup_dir.empty() || !FileExists(config_.backup_dir)) {
-    result.source = RecoverySource::kFresh;
+    finish(RecoverySource::kFresh);
     return result;
   }
+  int64_t disk_start = tracer.ElapsedMicros();
   uint64_t tables_recovered = 0;
   if (config_.backup_format == BackupFormatKind::kColumnar) {
     SCUBA_RETURN_IF_ERROR(
@@ -102,13 +139,19 @@ StatusOr<RecoveryResult> RestartManager::Recover(LeafMap* leaf_map,
                                           config_.columnar_disk, now,
                                           &result.columnar_stats));
     tables_recovered = result.columnar_stats.tables_recovered;
+    AddDiskPhaseSpans(&tracer, disk_start, result.columnar_stats.read_micros,
+                      result.columnar_stats.translate_micros,
+                      result.columnar_stats.bytes_read);
   } else {
     SCUBA_RETURN_IF_ERROR(BackupReader::RecoverLeaf(
         config_.backup_dir, leaf_map, config_.disk, now, &result.disk_stats));
     tables_recovered = result.disk_stats.tables_recovered;
+    AddDiskPhaseSpans(&tracer, disk_start, result.disk_stats.read_micros,
+                      result.disk_stats.translate_micros,
+                      result.disk_stats.bytes_read);
   }
-  result.source = tables_recovered > 0 ? RecoverySource::kDisk
-                                       : RecoverySource::kFresh;
+  finish(tables_recovered > 0 ? RecoverySource::kDisk
+                              : RecoverySource::kFresh);
   return result;
 }
 
@@ -119,7 +162,42 @@ Status RestartManager::Shutdown(LeafMap* leaf_map, ShutdownStats* stats,
   // Its valid bit semantics make this safe: either it was consumed, or the
   // disk backup is authoritative anyway.
   ScrubSharedMemory();
-  return ShutdownToShm(leaf_map, config_.shutdown, stats, tracker);
+  obs::PhaseTracer tracer;
+  ShutdownOptions shutdown_options = config_.shutdown;
+  shutdown_options.tracer = &tracer;
+  Status s = ShutdownToShm(leaf_map, shutdown_options, stats, tracker);
+  last_shutdown_trace_json_ = tracer.ToJson();
+  std::ostringstream body;
+  body << "\"status\": \"" << (s.ok() ? "ok" : s.ToString())
+       << "\", \"bytes_copied\": " << stats->bytes_copied.load()
+       << ", \"tables_copied\": " << stats->tables_copied.load()
+       << ", \"elapsed_micros\": " << stats->elapsed_micros.load()
+       << ", \"trace\": " << last_shutdown_trace_json_;
+  WriteReport("shutdown", body.str());
+  return s;
+}
+
+void RestartManager::WriteReport(const std::string& op,
+                                 const std::string& body_json) {
+  if (!config_.dump_restart_report || config_.backup_dir.empty()) return;
+  std::string path = config_.backup_dir + "/leaf_" +
+                     std::to_string(config_.leaf_id) + "." + op +
+                     "_report.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (out) {
+    out << "{\"leaf_id\": " << config_.leaf_id << ", \"op\": \"" << op
+        << "\", " << body_json
+        << ", \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
+        << "}\n";
+    out.flush();
+  }
+  if (!out) {
+    // Never fail the restart over a report, but never be silent either:
+    // the operator loses the artifact, the dashboard sees the counter.
+    obs::IncrCounter("scuba.core.restart.report_write_failures");
+    SCUBA_WARN << "leaf " << config_.leaf_id << ": failed to write " << op
+               << " report to " << path;
+  }
 }
 
 }  // namespace scuba

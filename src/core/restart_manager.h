@@ -9,6 +9,7 @@
 #include "core/shutdown.h"
 #include "disk/backup_reader.h"
 #include "disk/columnar_backup.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace scuba {
@@ -61,6 +62,16 @@ struct RestartConfig {
   ColumnarBackupReader::Options columnar_disk;
   /// Shutdown-side knobs.
   ShutdownOptions shutdown;
+  /// Write a JSON restart report — the Fig 6/7 phase timeline, the op's
+  /// stats, and a cumulative metrics snapshot — into `backup_dir` after
+  /// every Recover ("leaf_<id>.recovery_report.json") and Shutdown
+  /// ("leaf_<id>.shutdown_report.json"). The shutdown artifact is the
+  /// durable sibling of the shm leaf-metadata block: the next process (or
+  /// an operator) can see exactly how the previous one went down. Partial
+  /// write failures log a warning and bump
+  /// scuba.core.restart.report_write_failures instead of failing the op.
+  /// Skipped silently when backup_dir is empty.
+  bool dump_restart_report = true;
 };
 
 /// Result of RestartManager::Recover.
@@ -72,6 +83,10 @@ struct RecoveryResult {
   /// Status of the abandoned shm attempt when source == kDisk (OK when the
   /// disk path was taken because there was simply nothing in shm).
   Status shm_attempt_status;
+  /// Phase timeline of this recovery (obs::PhaseTracer::ToJson format):
+  /// shm spans (open_metadata/copy_in/...) and/or disk spans
+  /// (disk_read/disk_translate).
+  std::string trace_json;
 };
 
 /// Ties the two recovery paths together with the decision logic of
@@ -97,8 +112,18 @@ class RestartManager {
 
   const RestartConfig& config() const { return config_; }
 
+  /// Phase timeline of the most recent Shutdown on this manager
+  /// (obs::PhaseTracer::ToJson format; empty before the first shutdown).
+  const std::string& last_shutdown_trace_json() const {
+    return last_shutdown_trace_json_;
+  }
+
  private:
+  /// Best-effort JSON report write; warns + counts failures.
+  void WriteReport(const std::string& op, const std::string& body_json);
+
   RestartConfig config_;
+  std::string last_shutdown_trace_json_;
 };
 
 }  // namespace scuba

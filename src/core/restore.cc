@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "shm/leaf_metadata.h"
 #include "shm/table_segment.h"
 #include "util/clock.h"
@@ -16,11 +17,38 @@
 namespace scuba {
 namespace {
 
+// Cumulative process-wide mirror of RestoreStats (scuba.core.restore.*).
+struct RestoreMetrics {
+  obs::Counter* operations;
+  obs::Counter* tables;
+  obs::Counter* row_blocks;
+  obs::Counter* columns;
+  obs::Counter* bytes;
+  obs::Histogram* block_bytes;
+  obs::Histogram* elapsed_micros;
+
+  static RestoreMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static RestoreMetrics m{
+        reg.GetCounter("scuba.core.restore.operations"),
+        reg.GetCounter("scuba.core.restore.tables_restored"),
+        reg.GetCounter("scuba.core.restore.row_blocks_restored"),
+        reg.GetCounter("scuba.core.restore.columns_restored"),
+        reg.GetCounter("scuba.core.restore.bytes_copied"),
+        reg.GetHistogram("scuba.core.restore.block_bytes"),
+        reg.GetHistogram("scuba.core.restore.elapsed_micros")};
+    return m;
+  }
+};
+
 // Leaked /dev/shm segments are invisible to the process that leaked them;
-// a destroy failure must at least leave a trace for the operator.
+// a destroy failure must at least leave a trace for the operator. The
+// warning metric makes the partial failure visible to dashboards, not
+// just whoever happens to read stderr.
 void DestroyAllSegmentsLogged(LeafMetadata* meta, const char* why) {
   Status s = meta->DestroyAllSegments();
   if (!s.ok()) {
+    obs::IncrCounter("scuba.core.restore.shm_scrub_failures");
     SCUBA_WARN << "failed to destroy shm segments (" << why
                << "); /dev/shm segments may be leaked: " << s.ToString();
   }
@@ -45,12 +73,16 @@ StatusOr<std::unique_ptr<RowBlockColumn>> CopyColumnToHeap(
 Status RestoreTableSegment(const std::string& segment_name,
                            const RestoreOptions& options, LeafMap* leaf_map,
                            RestoreStats* stats, FootprintCounter* footprint) {
+  RestoreMetrics& metrics = RestoreMetrics::Get();
+  obs::PhaseTracer* tracer = options.tracer;
   SCUBA_ASSIGN_OR_RETURN(TableSegmentReader reader,
                          TableSegmentReader::Open(segment_name));
 
   SCUBA_ASSIGN_OR_RETURN(
       Table * table,
       leaf_map->CreateTable(reader.table_name(), options.table_limits));
+
+  obs::PhaseTracer::Span table_span(tracer, "table:" + reader.table_name());
 
   const size_t num_blocks = reader.num_row_blocks();
   // Tail-first drain: blocks are collected newest-first, then adopted in
@@ -62,6 +94,7 @@ Status RestoreTableSegment(const std::string& segment_name,
     const TableSegmentReader::BlockEntry& entry = reader.block(rb);
     const size_t num_columns = entry.columns.size();
 
+    uint64_t block_payload = 0;
     std::vector<std::unique_ptr<RowBlockColumn>> columns(num_columns);
     for (size_t c = 0; c < num_columns; ++c) {
       Slice src = reader.ColumnSlice(rb, c);
@@ -71,7 +104,12 @@ Status RestoreTableSegment(const std::string& segment_name,
       footprint->Add(src.size());
       stats->bytes_copied += src.size();
       ++stats->columns_restored;
+      metrics.bytes->Add(src.size());
+      metrics.columns->Add(1);
+      block_payload += src.size();
     }
+    table_span.AddBytes(block_payload);
+    metrics.block_bytes->Record(block_payload);
 
     SCUBA_ASSIGN_OR_RETURN(
         std::unique_ptr<RowBlock> block,
@@ -79,11 +117,18 @@ Status RestoreTableSegment(const std::string& segment_name,
                             std::move(columns)));
     reversed.push_back(std::move(block));
     ++stats->row_blocks_restored;
+    metrics.row_blocks->Add(1);
 
     // Fig 7: truncate the table shared memory segment if needed — the
     // drained tail's pages go back to the OS immediately.
     size_t before = reader.segment_bytes();
+    int64_t truncate_start = tracer != nullptr ? tracer->ElapsedMicros() : 0;
     SCUBA_RETURN_IF_ERROR(reader.TruncateTo(entry.block_offset));
+    if (tracer != nullptr && reader.segment_bytes() != before) {
+      tracer->AddCompletedSpan("segment_truncate", truncate_start,
+                               tracer->ElapsedMicros(),
+                               before - reader.segment_bytes());
+    }
     footprint->Sub(before - reader.segment_bytes());
   }
 
@@ -94,6 +139,7 @@ Status RestoreTableSegment(const std::string& segment_name,
   // Fig 7: delete the table shared memory segment.
   SCUBA_RETURN_IF_ERROR(reader.Unlink());
   ++stats->tables_restored;
+  metrics.tables->Add(1);
   return Status::OK();
 }
 
@@ -152,6 +198,7 @@ Status CopyOneBlock(SegmentRestoreJob* job, size_t rb, bool verify_checksums,
   const TableSegmentReader::BlockEntry& entry = job->reader.block(rb);
   const size_t num_columns = entry.columns.size();
 
+  RestoreMetrics& metrics = RestoreMetrics::Get();
   uint64_t added = 0;
   std::vector<std::unique_ptr<RowBlockColumn>> columns(num_columns);
   for (size_t c = 0; c < num_columns; ++c) {
@@ -167,7 +214,10 @@ Status CopyOneBlock(SegmentRestoreJob* job, size_t rb, bool verify_checksums,
     added += size;
     stats->bytes_copied += size;
     ++stats->columns_restored;
+    metrics.bytes->Add(size);
+    metrics.columns->Add(1);
   }
+  metrics.block_bytes->Record(added);
 
   auto block = RowBlock::FromParts(entry.meta.header, entry.meta.schema,
                                    std::move(columns));
@@ -177,6 +227,7 @@ Status CopyOneBlock(SegmentRestoreJob* job, size_t rb, bool verify_checksums,
   }
   job->blocks[rb] = std::move(block).value();
   ++stats->row_blocks_restored;
+  metrics.row_blocks->Add(1);
   return Status::OK();
 }
 
@@ -295,6 +346,7 @@ Status RestoreSegmentsParallel(const std::vector<std::string>& segment_names,
 
   // All copies landed; adopt in original block order and delete the
   // segments (Fig 7).
+  RestoreMetrics& metrics = RestoreMetrics::Get();
   for (auto& job_ptr : jobs) {
     SegmentRestoreJob* job = job_ptr.get();
     for (auto& block : job->blocks) {
@@ -302,6 +354,7 @@ Status RestoreSegmentsParallel(const std::vector<std::string>& segment_names,
     }
     SCUBA_RETURN_IF_ERROR(job->reader.Unlink());
     ++stats->tables_restored;
+    metrics.tables->Add(1);
   }
   return Status::OK();
 }
@@ -311,11 +364,17 @@ Status RestoreSegmentsParallel(const std::vector<std::string>& segment_names,
 Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
                       RestoreStats* stats, FootprintTracker* tracker) {
   Stopwatch watch;
+  obs::PhaseTracer* tracer = options.tracer;
+  // Opens immediately so the existence probe and first-call metric-handle
+  // initialization do not show up as a hole at the front of the timeline.
+  // RAII ends it on the early-return paths.
+  obs::PhaseTracer::Span open_span(tracer, "open_metadata");
 
   if (!LeafMetadata::Exists(options.namespace_prefix, options.leaf_id)) {
     return Status::NotFound("no shared memory metadata for leaf " +
                             std::to_string(options.leaf_id));
   }
+  RestoreMetrics::Get().operations->Add(1);
 
   auto meta_or = LeafMetadata::Open(options.namespace_prefix, options.leaf_id);
   if (!meta_or.ok()) {
@@ -346,6 +405,11 @@ Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
   // Fig 7: set valid bit to false — if restore is interrupted from here
   // on, the next restart will take the disk path.
   SCUBA_RETURN_IF_ERROR(meta.SetValid(false));
+  open_span.End();
+
+  // The copy-in phase: every segment's blocks memcpy'd back to the heap,
+  // truncating shm as the drain advances.
+  obs::PhaseTracer::Span copy_span(tracer, "copy_in");
 
   FootprintCounter footprint(
       TotalShmBytes("/" + options.namespace_prefix + "_leaf_" +
@@ -373,10 +437,20 @@ Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
                               restore_status.ToString());
   }
 
-  // Fig 7: delete the metadata shared memory segment.
-  SCUBA_RETURN_IF_ERROR(meta.Destroy());
+  copy_span.AddBytes(stats->bytes_copied.load());
+  copy_span.End();
 
+  // Fig 7: delete the metadata shared memory segment.
+  obs::PhaseTracer::Span destroy_span(tracer, "destroy_metadata");
+  SCUBA_RETURN_IF_ERROR(meta.Destroy());
+  destroy_span.End();
+
+  // Epilogue span: stats recording plus the restore log line, so the
+  // timeline covers (nearly) all wall time.
+  obs::PhaseTracer::Span report_span(tracer, "report");
   stats->elapsed_micros = watch.ElapsedMicros();
+  RestoreMetrics::Get().elapsed_micros->Record(
+      static_cast<uint64_t>(stats->elapsed_micros.load()));
   SCUBA_INFO << "restore-from-shm: " << stats->tables_restored << " tables, "
              << stats->bytes_copied << " bytes in "
              << stats->elapsed_micros / 1000 << " ms ("

@@ -7,6 +7,7 @@
 
 #include "columnar/leaf_map.h"
 #include "core/footprint.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace scuba {
@@ -30,11 +31,20 @@ struct RestoreOptions {
   /// of release is a row block. 0 = auto: num_copy_threads x the largest
   /// row block payload.
   uint64_t max_in_flight_bytes = 0;
+  /// Optional phase tracer: records the Fig 7 timeline as back-to-back
+  /// root spans (open_metadata, copy_in, destroy_metadata); the serial
+  /// path adds per-table and segment_truncate child spans. nullptr =
+  /// tracing off.
+  obs::PhaseTracer* tracer = nullptr;
 };
 
 /// Counters from one restore. Fields are atomics because the parallel
 /// copy engine updates them from every worker; copying the struct takes a
 /// snapshot.
+///
+/// This is the PER-OPERATION view; the same increments also land in the
+/// process-wide MetricsRegistry under scuba.core.restore.* (cumulative
+/// across operations, exported by MetricsRegistry::ToJson).
 struct RestoreStats {
   std::atomic<uint64_t> tables_restored{0};
   std::atomic<uint64_t> row_blocks_restored{0};

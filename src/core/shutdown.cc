@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "shm/leaf_metadata.h"
 #include "shm/table_segment.h"
 #include "util/clock.h"
@@ -13,6 +14,32 @@
 
 namespace scuba {
 namespace {
+
+// Cumulative process-wide mirror of ShutdownStats (scuba.core.shutdown.*).
+struct ShutdownMetrics {
+  obs::Counter* operations;
+  obs::Counter* tables;
+  obs::Counter* row_blocks;
+  obs::Counter* columns;
+  obs::Counter* bytes;
+  obs::Counter* segment_grows;
+  obs::Histogram* column_bytes;
+  obs::Histogram* elapsed_micros;
+
+  static ShutdownMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ShutdownMetrics m{
+        reg.GetCounter("scuba.core.shutdown.operations"),
+        reg.GetCounter("scuba.core.shutdown.tables_copied"),
+        reg.GetCounter("scuba.core.shutdown.row_blocks_copied"),
+        reg.GetCounter("scuba.core.shutdown.columns_copied"),
+        reg.GetCounter("scuba.core.shutdown.bytes_copied"),
+        reg.GetCounter("scuba.core.shutdown.segment_grows"),
+        reg.GetHistogram("scuba.core.shutdown.column_bytes"),
+        reg.GetHistogram("scuba.core.shutdown.elapsed_micros")};
+    return m;
+  }
+};
 
 std::string TableSegmentName(const ShutdownOptions& options, size_t index) {
   return "/" + options.namespace_prefix + "_leaf_" +
@@ -51,6 +78,13 @@ struct TableCopyJob {
 Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
                      ShutdownStats* stats, FootprintTracker* tracker) {
   Stopwatch watch;
+  obs::PhaseTracer* tracer = options.tracer;
+  // The first span opens immediately: metric-handle initialization (first
+  // call only) costs tens of microseconds and must not show up as a hole
+  // at the front of the timeline.
+  obs::PhaseTracer::Span seal_span(tracer, "seal_buffers");
+  ShutdownMetrics& metrics = ShutdownMetrics::Get();
+  metrics.operations->Add(1);
 
   // The server's PREPARE step seals write buffers; seal here as a backstop
   // so no buffered rows are silently dropped. Done before byte accounting
@@ -60,14 +94,21 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
     SCUBA_RETURN_IF_ERROR(
         leaf_map->GetTable(name)->SealWriteBuffer(options.now));
   }
+  seal_span.End();
 
   // Combined heap+shm accounting, shared by all copy workers.
   FootprintCounter footprint(leaf_map->TotalMemoryBytes(), tracker);
 
   // Fig 6 step 1-2: metadata segment with valid=false.
+  obs::PhaseTracer::Span meta_span(tracer, "create_metadata");
   SCUBA_ASSIGN_OR_RETURN(
       LeafMetadata meta,
       LeafMetadata::Create(options.namespace_prefix, options.leaf_id));
+  meta_span.End();
+
+  // The copy-out phase: budget sizing, per-table layout reservation, the
+  // column memcpy fan-out, and segment sealing all belong to it.
+  obs::PhaseTracer::Span copy_span(tracer, "copy_out");
 
   // In-flight budget: bytes copied to shm whose heap column has not been
   // freed yet. Serial mode needs none — the Fig 6 loop frees each column
@@ -92,8 +133,15 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
   for (size_t t = 0; t < table_names.size(); ++t) {
     Table* table = leaf_map->GetTable(table_names[t]);
 
+    // Serial mode: the span covers the table's whole Fig 6 copy. Parallel
+    // mode: it covers only the layout reservation — the copies drain
+    // asynchronously under the enclosing copy_out span.
+    obs::PhaseTracer::Span table_span(
+        tracer, (pool == nullptr ? "table:" : "reserve:") + table_names[t]);
+
     // Fig 6: estimate size of table, create table shm segment.
     uint64_t table_bytes = table->MemoryBytes();
+    table_span.AddBytes(table_bytes);
     size_t estimate = static_cast<size_t>(
         static_cast<double>(table_bytes) * options.size_estimate_factor +
         4096.0 + 512.0 * static_cast<double>(table->num_row_blocks()));
@@ -124,16 +172,23 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
       const size_t num_columns = block->num_columns();
       std::vector<size_t> offsets(num_columns);
       for (size_t c = 0; c < num_columns; ++c) {
+        uint64_t grows_before = tracer != nullptr ? w->grow_count() : 0;
+        int64_t reserve_start = tracer != nullptr ? tracer->ElapsedMicros() : 0;
         SCUBA_ASSIGN_OR_RETURN(
             offsets[c],
             w->ReserveColumnSlot(block->column(c)->total_bytes()));
+        if (tracer != nullptr && w->grow_count() != grows_before) {
+          tracer->AddCompletedSpan("segment_grow", reserve_start,
+                                   tracer->ElapsedMicros(),
+                                   block->column(c)->total_bytes());
+        }
       }
 
       // Fig 6 inner loop for one row block: copy each column (ONE memcpy —
       // offsets, not pointers, make the buffer position-independent), then
       // delete it from the heap.
       auto copy_block = [w, block, offsets = std::move(offsets), &budget,
-                         &footprint, stats,
+                         &footprint, stats, &metrics,
                          free_incrementally = options.free_incrementally] {
         for (size_t c = 0; c < offsets.size(); ++c) {
           const RowBlockColumn* column = block->column(c);
@@ -143,6 +198,9 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
           footprint.Add(column_bytes);
           ++stats->columns_copied;
           stats->bytes_copied += column_bytes;
+          metrics.columns->Add(1);
+          metrics.bytes->Add(column_bytes);
+          metrics.column_bytes->Record(column_bytes);
           if (free_incrementally) {
             // Fig 6: delete row block column from heap.
             block->ReleaseColumn(c).reset();
@@ -151,6 +209,7 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
           budget.Release(column_bytes);
         }
         ++stats->row_blocks_copied;
+        metrics.row_blocks->Add(1);
       };
       if (pool != nullptr) {
         deferred.push_back(std::move(copy_block));
@@ -164,6 +223,7 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
       // Serial mode: seal and free this table before moving to the next,
       // exactly the Fig 6 ordering.
       stats->segment_grow_count += w->grow_count();
+      metrics.segment_grows->Add(w->grow_count());
       SCUBA_RETURN_IF_ERROR(w->Finish(job.num_blocks));
       if (options.free_incrementally) {
         for (uint64_t b = 0; b < job.num_blocks; ++b) {
@@ -174,13 +234,21 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
         leaf_map->ReleaseTable(table_names[t]).reset();
       }
       ++stats->tables_copied;
+      metrics.tables->Add(1);
+      // Unmap now, inside the table span: munmap's page-table teardown is
+      // proportional to segment size and must not land after the timeline.
+      job.writer.reset();
     }
   }
 
   if (pool != nullptr) {
+    // The drain: layout is fully reserved, workers finish the memcpys,
+    // then every segment is sealed.
+    obs::PhaseTracer::Span drain_span(tracer, "drain");
     pool->Wait();
     for (TableCopyJob& job : jobs) {
       stats->segment_grow_count += job.writer->grow_count();
+      metrics.segment_grows->Add(job.writer->grow_count());
       SCUBA_RETURN_IF_ERROR(job.writer->Finish(job.num_blocks));
       if (options.free_incrementally) {
         Table* table = leaf_map->GetTable(job.table_name);
@@ -190,7 +258,14 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
         leaf_map->ReleaseTable(job.table_name).reset();
       }
       ++stats->tables_copied;
+      metrics.tables->Add(1);
+      // As in serial mode: the size-proportional munmap belongs to the
+      // drain, not to destructors running after the timeline closed.
+      job.writer.reset();
     }
+    // Tear the pool down while the drain span is open: joining the worker
+    // threads is part of the drain, not post-shutdown cleanup.
+    pool.reset();
   }
 
   // Naive (non-paper) strategy frees everything only now.
@@ -201,12 +276,21 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
       leaf_map->ReleaseTable(name).reset();
     }
   }
+  copy_span.End();
 
   // Fig 6 final step: set valid bit to true. Everything before this point
   // leaves the valid bit false, so a failure or kill forces disk recovery.
+  obs::PhaseTracer::Span valid_span(tracer, "set_valid");
   SCUBA_RETURN_IF_ERROR(meta.SetValid(true));
+  valid_span.End();
 
+  // The epilogue — stats recording plus the one-line shutdown log (a
+  // formatted write() syscall) — is covered by its own span so the dumped
+  // timeline accounts for (nearly) all wall time.
+  obs::PhaseTracer::Span report_span(tracer, "report");
   stats->elapsed_micros = watch.ElapsedMicros();
+  metrics.elapsed_micros->Record(
+      static_cast<uint64_t>(stats->elapsed_micros.load()));
   SCUBA_INFO << "shutdown-to-shm: " << stats->tables_copied << " tables, "
              << stats->bytes_copied << " bytes in "
              << stats->elapsed_micros / 1000 << " ms ("

@@ -7,6 +7,7 @@
 
 #include "columnar/leaf_map.h"
 #include "core/footprint.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace scuba {
@@ -36,11 +37,19 @@ struct ShutdownOptions {
   /// widened for parallelism). 0 = auto: num_copy_threads x the largest
   /// row block column.
   uint64_t max_in_flight_bytes = 0;
+  /// Optional phase tracer: records the Fig 6 timeline as back-to-back
+  /// root spans (seal_buffers, create_metadata, copy_out, set_valid) with
+  /// per-table and segment_grow child spans. nullptr = tracing off.
+  obs::PhaseTracer* tracer = nullptr;
 };
 
 /// Counters from one shutdown. Fields are atomics because the parallel
 /// copy engine updates them from every worker; copying the struct takes a
 /// (racy-free, quiescent-time) snapshot.
+///
+/// This is the PER-OPERATION view; the same increments also land in the
+/// process-wide MetricsRegistry under scuba.core.shutdown.* (cumulative
+/// across operations, exported by MetricsRegistry::ToJson).
 struct ShutdownStats {
   std::atomic<uint64_t> tables_copied{0};
   std::atomic<uint64_t> row_blocks_copied{0};

@@ -5,22 +5,54 @@
 
 #include "disk/backup_format.h"
 #include "disk/file.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace scuba {
+namespace {
+
+// Cumulative process-wide mirror of BackupReader::Stats
+// (scuba.disk.backup.read.*).
+struct ReaderMetrics {
+  obs::Counter* tables;
+  obs::Counter* bytes_read;
+  obs::Counter* rows;
+  obs::Counter* records_dropped;
+  obs::Histogram* read_micros;
+  obs::Histogram* translate_micros;
+
+  static ReaderMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ReaderMetrics m{
+        reg.GetCounter("scuba.disk.backup.read.tables_recovered"),
+        reg.GetCounter("scuba.disk.backup.read.bytes_read"),
+        reg.GetCounter("scuba.disk.backup.read.rows_recovered"),
+        reg.GetCounter("scuba.disk.backup.read.records_dropped"),
+        reg.GetHistogram("scuba.disk.backup.read.read_micros"),
+        reg.GetHistogram("scuba.disk.backup.read.translate_micros")};
+    return m;
+  }
+};
+
+}  // namespace
 
 Status BackupReader::RecoverTable(const std::string& path, Table* table,
                                   const Options& options, int64_t now,
                                   Stats* stats) {
+  ReaderMetrics& metrics = ReaderMetrics::Get();
+
   // Phase 1: the raw disk read (20-25 minutes of the paper's recovery).
   Stopwatch read_watch;
   ByteBuffer contents;
   SCUBA_RETURN_IF_ERROR(
       ReadFileFully(path, &contents, options.throttle_bytes_per_sec));
-  stats->read_micros += read_watch.ElapsedMicros();
+  int64_t read_micros = read_watch.ElapsedMicros();
+  stats->read_micros += read_micros;
   stats->bytes_read += contents.size();
+  metrics.read_micros->Record(static_cast<uint64_t>(read_micros));
+  metrics.bytes_read->Add(contents.size());
 
   // Phase 2: translation to the in-memory format (the dominant cost).
   Stopwatch translate_watch;
@@ -38,6 +70,7 @@ Status BackupReader::RecoverTable(const std::string& path, Table* table,
       SCUBA_WARN << "backup " << path
                  << ": stopping at corrupt record: " << s.ToString();
       ++stats->records_dropped;
+      metrics.records_dropped->Add(1);
       break;
     }
     SCUBA_RETURN_IF_ERROR(s);
@@ -46,9 +79,13 @@ Status BackupReader::RecoverTable(const std::string& path, Table* table,
   SCUBA_RETURN_IF_ERROR(table->SealWriteBuffer(now));
   table->ExpireData(now);
 
-  stats->translate_micros += translate_watch.ElapsedMicros();
+  int64_t translate_micros = translate_watch.ElapsedMicros();
+  stats->translate_micros += translate_micros;
   stats->rows_recovered += table->RowCount() - rows_before;
   ++stats->tables_recovered;
+  metrics.translate_micros->Record(static_cast<uint64_t>(translate_micros));
+  metrics.rows->Add(table->RowCount() - rows_before);
+  metrics.tables->Add(1);
   return Status::OK();
 }
 

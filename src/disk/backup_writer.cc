@@ -1,9 +1,30 @@
 #include "disk/backup_writer.h"
 
 #include "disk/backup_format.h"
+#include "obs/metrics.h"
 #include "util/byte_buffer.h"
 
 namespace scuba {
+namespace {
+
+// Cumulative process-wide counters for the row-major backup writer
+// (scuba.disk.backup.write.*).
+struct WriterMetrics {
+  obs::Counter* batches;
+  obs::Counter* bytes_written;
+  obs::Counter* syncs;
+
+  static WriterMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static WriterMetrics m{
+        reg.GetCounter("scuba.disk.backup.write.batches"),
+        reg.GetCounter("scuba.disk.backup.write.bytes_written"),
+        reg.GetCounter("scuba.disk.backup.write.syncs")};
+    return m;
+  }
+};
+
+}  // namespace
 
 StatusOr<BackupWriter::TableFile*> BackupWriter::GetOrOpen(
     const std::string& table) {
@@ -34,6 +55,9 @@ Status BackupWriter::AppendBatch(const std::string& table,
   SCUBA_RETURN_IF_ERROR(entry->file->Append(record.data(), record.size()));
   total_bytes_written_ += record.size();
   entry->dirty = true;
+  WriterMetrics& metrics = WriterMetrics::Get();
+  metrics.batches->Add(1);
+  metrics.bytes_written->Add(record.size());
   return Status::OK();
 }
 
@@ -42,6 +66,7 @@ Status BackupWriter::SyncAll() {
     if (!entry.dirty) continue;
     SCUBA_RETURN_IF_ERROR(entry.file->Sync());
     entry.dirty = false;
+    WriterMetrics::Get().syncs->Add(1);
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "disk/backup_format.h"
+#include "obs/metrics.h"
 #include "util/bit_util.h"
 #include "util/byte_buffer.h"
 #include "util/clock.h"
@@ -89,6 +90,36 @@ uint32_t PayloadCrc(Slice payload) {
   return crc32c::Mask(crc32c::Value(payload.data(), n));
 }
 
+// Cumulative process-wide counters for the columnar backup path
+// (scuba.disk.columnar.*); read-side fields mirror
+// ColumnarBackupReader::Stats.
+struct ColumnarMetrics {
+  obs::Counter* blocks_sealed;
+  obs::Counter* bytes_written;
+  obs::Counter* tables_recovered;
+  obs::Counter* bytes_read;
+  obs::Counter* blocks_recovered;
+  obs::Counter* tail_rows;
+  obs::Counter* records_dropped;
+  obs::Histogram* read_micros;
+  obs::Histogram* translate_micros;
+
+  static ColumnarMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ColumnarMetrics m{
+        reg.GetCounter("scuba.disk.columnar.blocks_sealed"),
+        reg.GetCounter("scuba.disk.columnar.bytes_written"),
+        reg.GetCounter("scuba.disk.columnar.tables_recovered"),
+        reg.GetCounter("scuba.disk.columnar.bytes_read"),
+        reg.GetCounter("scuba.disk.columnar.blocks_recovered"),
+        reg.GetCounter("scuba.disk.columnar.tail_rows_recovered"),
+        reg.GetCounter("scuba.disk.columnar.records_dropped"),
+        reg.GetHistogram("scuba.disk.columnar.read_micros"),
+        reg.GetHistogram("scuba.disk.columnar.translate_micros")};
+    return m;
+  }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -162,6 +193,9 @@ Status ColumnarBackupWriter::OnBlockSealed(const std::string& table,
   total_bytes_written_ += envelope.size() + payload.size();
   SCUBA_RETURN_IF_ERROR(state->cols->Sync());
   state->cols_dirty = false;
+  ColumnarMetrics& metrics = ColumnarMetrics::Get();
+  metrics.blocks_sealed->Add(1);
+  metrics.bytes_written->Add(envelope.size() + payload.size());
 
   // 2. Start the next tail generation.
   uint64_t old_k = state->num_blocks;
@@ -240,8 +274,11 @@ Status ColumnarBackupReader::RecoverTable(const std::string& dir,
   ByteBuffer contents;
   SCUBA_RETURN_IF_ERROR(ReadFileFully(dir + "/" + table + ".cols", &contents,
                                       options.throttle_bytes_per_sec));
-  stats->read_micros += read_watch.ElapsedMicros();
+  int64_t cols_read_micros = read_watch.ElapsedMicros();
+  stats->read_micros += cols_read_micros;
   stats->bytes_read += contents.size();
+  ColumnarMetrics& metrics = ColumnarMetrics::Get();
+  metrics.bytes_read->Add(contents.size());
 
   // Phase 2: adopt blocks (memcpy-class translation). The envelope walk
   // (lengths + prefix CRCs) is cheap and stays serial; the per-record
@@ -302,7 +339,10 @@ Status ColumnarBackupReader::RecoverTable(const std::string& dir,
     out->AdoptRowBlock(std::move(parsed[i]));
     ++blocks;
   }
-  if (envelope_torn || parse_failed) ++stats->records_dropped;
+  if (envelope_torn || parse_failed) {
+    ++stats->records_dropped;
+    metrics.records_dropped->Add(1);
+  }
   stats->blocks_recovered += blocks;
 
   // Phase 3: replay EXACTLY tail.<blocks>; other generations are stale.
@@ -317,6 +357,7 @@ Status ColumnarBackupReader::RecoverTable(const std::string& dir,
     tail_read_micros = tail_read.ElapsedMicros();
     stats->read_micros += tail_read_micros;
     stats->bytes_read += tail.size();
+    metrics.bytes_read->Add(tail.size());
 
     Slice tail_input = tail.AsSlice();
     if (tail_input.size() >= 16 &&
@@ -328,11 +369,13 @@ Status ColumnarBackupReader::RecoverTable(const std::string& dir,
         if (s.IsNotFound()) break;
         if (s.IsCorruption()) {
           ++stats->records_dropped;
+          metrics.records_dropped->Add(1);
           break;
         }
         SCUBA_RETURN_IF_ERROR(s);
         SCUBA_RETURN_IF_ERROR(out->AddRows(rows, now));
         stats->tail_rows_recovered += rows.size();
+        metrics.tail_rows->Add(rows.size());
       }
     }
   }
@@ -348,10 +391,18 @@ Status ColumnarBackupReader::RecoverTable(const std::string& dir,
   }
 
   out->ExpireData(now);
-  stats->translate_micros += translate_watch.ElapsedMicros() -
+  int64_t translate_micros = translate_watch.ElapsedMicros() -
                              tail_read_micros;
+  stats->translate_micros += translate_micros;
   stats->rows_recovered += out->RowCount();
   ++stats->tables_recovered;
+
+  metrics.tables_recovered->Add(1);
+  metrics.blocks_recovered->Add(blocks);
+  metrics.read_micros->Record(static_cast<uint64_t>(
+      std::max<int64_t>(0, cols_read_micros + tail_read_micros)));
+  metrics.translate_micros->Record(
+      static_cast<uint64_t>(std::max<int64_t>(0, translate_micros)));
   return Status::OK();
 }
 

@@ -1,6 +1,32 @@
 #include "ingest/tailer.h"
 
+#include "obs/metrics.h"
+
 namespace scuba {
+namespace {
+
+// Cumulative process-wide mirror of TailerStats (scuba.ingest.tailer.*),
+// summed across every tailer in the process.
+struct TailerMetrics {
+  obs::Counter* rows_delivered;
+  obs::Counter* batches_delivered;
+  obs::Counter* batches_failed;
+  obs::Counter* batches_to_restarting;
+  obs::Counter* choice_rounds;
+
+  static TailerMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static TailerMetrics m{
+        reg.GetCounter("scuba.ingest.tailer.rows_delivered"),
+        reg.GetCounter("scuba.ingest.tailer.batches_delivered"),
+        reg.GetCounter("scuba.ingest.tailer.batches_failed"),
+        reg.GetCounter("scuba.ingest.tailer.batches_to_restarting"),
+        reg.GetCounter("scuba.ingest.tailer.choice_rounds")};
+    return m;
+  }
+};
+
+}  // namespace
 
 Tailer::Tailer(TailerConfig config, CategoryLog* log,
                std::vector<LeafServer*> leaves)
@@ -25,6 +51,7 @@ LeafServer* Tailer::ChooseLeaf(bool* used_restarting_fallback) {
 
   for (int round = 0; round < config_.max_choice_rounds; ++round) {
     ++stats_.choice_rounds;
+    TailerMetrics::Get().choice_rounds->Add(1);
     size_t a = random_.Uniform(leaves_.size());
     size_t b = random_.Uniform(leaves_.size() - 1);
     if (b >= a) ++b;  // distinct pair
@@ -53,6 +80,7 @@ LeafServer* Tailer::ChooseLeaf(bool* used_restarting_fallback) {
 }
 
 StatusOr<uint64_t> Tailer::Pump(bool flush) {
+  TailerMetrics& metrics = TailerMetrics::Get();
   uint64_t delivered = 0;
   for (;;) {
     uint64_t pending = backlog();
@@ -68,6 +96,7 @@ StatusOr<uint64_t> Tailer::Pump(bool flush) {
     LeafServer* target = ChooseLeaf(&fallback);
     if (target == nullptr) {
       ++stats_.batches_failed;
+      metrics.batches_failed->Add(1);
       break;  // nothing can accept; retry on a later pump
     }
     Status s = target->AddRows(config_.category, batch);
@@ -75,6 +104,7 @@ StatusOr<uint64_t> Tailer::Pump(bool flush) {
       if (s.IsUnavailable()) {
         // Lost a race with a state change; retry later.
         ++stats_.batches_failed;
+        metrics.batches_failed->Add(1);
         break;
       }
       return s;
@@ -83,7 +113,12 @@ StatusOr<uint64_t> Tailer::Pump(bool flush) {
     delivered += n;
     stats_.rows_delivered += n;
     ++stats_.batches_delivered;
-    if (fallback) ++stats_.batches_to_restarting;
+    metrics.rows_delivered->Add(n);
+    metrics.batches_delivered->Add(1);
+    if (fallback) {
+      ++stats_.batches_to_restarting;
+      metrics.batches_to_restarting->Add(1);
+    }
   }
   return delivered;
 }

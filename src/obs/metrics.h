@@ -1,0 +1,159 @@
+#ifndef SCUBA_OBS_METRICS_H_
+#define SCUBA_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace scuba {
+namespace obs {
+
+/// Number of cache-line-padded shards per metric. Writers pick a shard by
+/// (cached) thread id, so concurrent Record/Add calls from the restart
+/// copy workers never contend on one line; readers merge on demand.
+inline constexpr size_t kMetricShards = 16;  // power of two
+
+/// This thread's shard index (stable for the thread's lifetime).
+size_t ThreadShardIndex();
+
+/// Monotonically increasing sum, sharded for write scalability. Handles
+/// returned by MetricsRegistry are valid for the process lifetime, so hot
+/// paths cache the pointer (e.g. in a function-local static) and the
+/// record path is a single relaxed fetch_add.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ThreadShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void ResetForTest() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-writer-wins instantaneous value (e.g. current state, queue depth).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram for latencies (micros) and byte sizes: bucket 0
+/// holds the value 0 and bucket i >= 1 holds [2^(i-1), 2^i). Record is
+/// lock-free (sharded relaxed atomics, min/max via CAS); Snapshot merges
+/// the shards on read, so a snapshot taken during concurrent recording is
+/// a consistent-enough view (each field is atomically read; cross-field
+/// skew is bounded by in-flight records).
+class Histogram {
+ public:
+  /// Enough buckets for the full uint64 range: 0, then 64 pow2 ranges.
+  static constexpr size_t kNumBuckets = 65;
+
+  /// 0 -> 0; v >= 1 -> bit_width(v), i.e. 1 + floor(log2 v).
+  static size_t BucketIndex(uint64_t v);
+  /// Smallest value belonging to bucket `i` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(size_t i);
+
+  void Record(uint64_t v);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;  // 0 when count == 0
+    uint64_t max = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Bucket-resolution estimate (upper bound of the bucket holding the
+    /// p-quantile observation), p in [0, 1].
+    uint64_t PercentileUpperBound(double p) const;
+    /// Pointwise accumulation; used to combine per-shard and per-registry
+    /// snapshots.
+    void Merge(const Snapshot& other);
+  };
+
+  Snapshot TakeSnapshot() const;
+  void ResetForTest();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Process-wide named-metric registry. Naming scheme (DESIGN.md §6):
+/// `scuba.<module>.<metric>`, e.g. scuba.core.shutdown.bytes_copied,
+/// scuba.util.thread_pool.queue_wait_micros.
+///
+/// Get* is get-or-create under a mutex and returns a handle that stays
+/// valid (and keeps its identity) for the process lifetime — metrics are
+/// never removed, so callers cache the pointer and record lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide instance every subsystem records into.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Machine-readable snapshot of everything, keys sorted:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count":..,"sum":..,"min":..,"max":..,
+  ///                          "mean":..,"p50":..,"p95":..,"p99":..,
+  ///                          "buckets": [[lower_bound, count], ...]}, ...}}
+  /// Only non-zero histogram buckets are emitted.
+  std::string ToJson() const;
+
+  /// Zeroes every metric IN PLACE (handles stay valid). Benches and tests
+  /// use this to scope a measurement; racing recorders just land in the
+  /// fresh epoch.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Convenience recorders for cold paths (each does a registry lookup; hot
+/// paths should cache the handle from Get* instead).
+void IncrCounter(std::string_view name, uint64_t n = 1);
+void SetGauge(std::string_view name, int64_t v);
+void RecordHistogram(std::string_view name, uint64_t v);
+
+}  // namespace obs
+}  // namespace scuba
+
+#endif  // SCUBA_OBS_METRICS_H_

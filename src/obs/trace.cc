@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace scuba {
+namespace obs {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+PhaseTracer::PhaseTracer() : epoch_steady_micros_(SteadyNowMicros()) {}
+
+int64_t PhaseTracer::ElapsedMicros() const {
+  return SteadyNowMicros() - epoch_steady_micros_;
+}
+
+int PhaseTracer::BeginSpan(std::string name) {
+  int64_t now = ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::thread::id tid = std::this_thread::get_id();
+  auto [tn_it, inserted] = thread_numbers_.try_emplace(
+      tid, static_cast<uint32_t>(thread_numbers_.size()));
+
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_micros = now;
+  span.end_micros = now;
+  span.thread = tn_it->second;
+  std::vector<int>& stack = open_[tid];
+  if (!stack.empty()) {
+    span.parent = stack.back();
+    span.depth = spans_[stack.back()].depth + 1;
+  }
+  int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  stack.push_back(id);
+  return id;
+}
+
+void PhaseTracer::EndSpan(int id, uint64_t bytes) {
+  int64_t now = ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || id >= static_cast<int>(spans_.size())) return;
+  spans_[id].end_micros = now;
+  spans_[id].bytes += bytes;
+  // Pop this span (and anything the thread forgot to close above it) off
+  // the calling thread's open stack, if present there.
+  auto it = open_.find(std::this_thread::get_id());
+  if (it != open_.end()) {
+    std::vector<int>& stack = it->second;
+    for (size_t i = stack.size(); i-- > 0;) {
+      if (stack[i] == id) {
+        stack.resize(i);
+        break;
+      }
+    }
+  }
+}
+
+void PhaseTracer::AddCompletedSpan(std::string name, int64_t start_micros,
+                                   int64_t end_micros, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::thread::id tid = std::this_thread::get_id();
+  auto [tn_it, inserted] = thread_numbers_.try_emplace(
+      tid, static_cast<uint32_t>(thread_numbers_.size()));
+  TraceSpan span;
+  span.name = std::move(name);
+  span.start_micros = start_micros;
+  span.end_micros = end_micros;
+  span.bytes = bytes;
+  span.thread = tn_it->second;
+  auto it = open_.find(tid);
+  if (it != open_.end() && !it->second.empty()) {
+    span.parent = it->second.back();
+    span.depth = spans_[it->second.back()].depth + 1;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> PhaseTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+int64_t PhaseTracer::RootCoverageMicros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const TraceSpan& span : spans_) {
+    if (span.depth == 0) total += span.DurationMicros();
+  }
+  return total;
+}
+
+std::string PhaseTracer::ToJson() const {
+  // Capture elapsed before the allocation-heavy span copy: the dump's
+  // wall time must describe the traced operation, not the serialization.
+  const int64_t elapsed = ElapsedMicros();
+  std::vector<TraceSpan> spans = Snapshot();
+  std::ostringstream os;
+  os << "{\"elapsed_micros\": " << elapsed << ", \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i > 0) os << ", ";
+    os << "{\"name\": \"";
+    AppendEscaped(os, s.name);
+    os << "\", \"start_micros\": " << s.start_micros
+       << ", \"end_micros\": " << s.end_micros
+       << ", \"duration_micros\": " << s.DurationMicros()
+       << ", \"bytes\": " << s.bytes << ", \"thread\": " << s.thread
+       << ", \"parent\": " << s.parent << ", \"depth\": " << s.depth << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace scuba

@@ -1,0 +1,105 @@
+#ifndef SCUBA_OBS_TRACE_H_
+#define SCUBA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scuba {
+namespace obs {
+
+/// One timed phase of an operation. Times are microseconds relative to the
+/// owning tracer's epoch (monotonic clock), so a dumped timeline reads
+/// like the paper's Fig 6/7 phase breakdown.
+struct TraceSpan {
+  std::string name;
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;       // == start while still open
+  uint64_t bytes = 0;           // payload attributed to the span (0 = n/a)
+  uint32_t thread = 0;          // dense per-tracer thread number
+  int32_t parent = -1;          // index into the span list; -1 = root
+  int32_t depth = 0;
+
+  int64_t DurationMicros() const { return end_micros - start_micros; }
+};
+
+/// Records nested, possibly concurrent spans for ONE operation (a
+/// shutdown, a recovery, a query). Begin/End nest per thread: a span
+/// started on a thread becomes the parent of later spans started on the
+/// same thread until it ends. Mutex-guarded — spans are phase/block
+/// granular, not per-row — and safe to call from pool workers.
+///
+/// All instrumentation sites take a `PhaseTracer*` and treat nullptr as
+/// "tracing off", so the hot paths pay nothing when nobody is looking.
+class PhaseTracer {
+ public:
+  PhaseTracer();
+
+  PhaseTracer(const PhaseTracer&) = delete;
+  PhaseTracer& operator=(const PhaseTracer&) = delete;
+
+  /// Starts a span; returns its id (index). Thread-safe.
+  int BeginSpan(std::string name);
+  /// Ends span `id`, attributing `bytes` to it. Thread-safe.
+  void EndSpan(int id, uint64_t bytes = 0);
+
+  /// Inserts an already-measured span (e.g. a read/translate split
+  /// reconstructed from phase counters). Times are relative to the epoch.
+  void AddCompletedSpan(std::string name, int64_t start_micros,
+                        int64_t end_micros, uint64_t bytes = 0);
+
+  /// Microseconds since this tracer was constructed (monotonic).
+  int64_t ElapsedMicros() const;
+
+  /// Copies out the spans recorded so far (open spans have end == start).
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// Sum of root-span (depth 0) durations — the timeline's coverage of
+  /// the operation's wall time when roots are recorded back to back.
+  int64_t RootCoverageMicros() const;
+
+  /// {"elapsed_micros": N, "spans": [{"name":..,"start_micros":..,
+  ///   "end_micros":..,"duration_micros":..,"bytes":..,"thread":..,
+  ///   "parent":..,"depth":..}, ...]}
+  std::string ToJson() const;
+
+  /// RAII span; tolerates a null tracer (no-op).
+  class Span {
+   public:
+    Span(PhaseTracer* tracer, std::string name)
+        : tracer_(tracer),
+          id_(tracer == nullptr ? -1 : tracer->BeginSpan(std::move(name))) {}
+    ~Span() { End(); }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void AddBytes(uint64_t bytes) { bytes_ += bytes; }
+    /// Ends the span early (idempotent).
+    void End() {
+      if (tracer_ != nullptr && id_ >= 0) tracer_->EndSpan(id_, bytes_);
+      id_ = -1;
+    }
+
+   private:
+    PhaseTracer* tracer_;
+    int id_;
+    uint64_t bytes_ = 0;
+  };
+
+ private:
+  const int64_t epoch_steady_micros_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  // Per-thread stack of open span ids, for nesting.
+  std::map<std::thread::id, std::vector<int>> open_;
+  std::map<std::thread::id, uint32_t> thread_numbers_;
+};
+
+}  // namespace obs
+}  // namespace scuba
+
+#endif  // SCUBA_OBS_TRACE_H_

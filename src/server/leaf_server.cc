@@ -2,10 +2,34 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace scuba {
 namespace {
+
+// Process-wide leaf-server counters (scuba.server.leaf.*), summed across
+// every leaf in the process.
+struct ServerMetrics {
+  obs::Counter* add_batches;
+  obs::Counter* rows_added;
+  obs::Counter* adds_rejected;
+  obs::Counter* queries;
+  obs::Counter* queries_rejected;
+  obs::Counter* rows_expired;
+
+  static ServerMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static ServerMetrics m{
+        reg.GetCounter("scuba.server.leaf.add_batches"),
+        reg.GetCounter("scuba.server.leaf.rows_added"),
+        reg.GetCounter("scuba.server.leaf.adds_rejected"),
+        reg.GetCounter("scuba.server.leaf.queries"),
+        reg.GetCounter("scuba.server.leaf.queries_rejected"),
+        reg.GetCounter("scuba.server.leaf.rows_expired")};
+    return m;
+  }
+};
 
 RestartConfig MakeRestartConfig(const LeafServerConfig& config) {
   RestartConfig rc;
@@ -113,7 +137,9 @@ StatusOr<RecoveryResult> LeafServer::Start() {
 Status LeafServer::AddRows(const std::string& table,
                            const std::vector<Row>& rows) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ServerMetrics& metrics = ServerMetrics::Get();
   if (!leaf_state_.CanAcceptAdds()) {
+    metrics.adds_rejected->Add(1);
     return Status::Unavailable("leaf " + std::to_string(config_.leaf_id) +
                                " not accepting adds (state " +
                                std::string(LeafStateName(leaf_state_.state())) +
@@ -125,6 +151,7 @@ Status LeafServer::AddRows(const std::string& table,
     SCUBA_RETURN_IF_ERROR(it->second.Transition(TableState::kAlive));
   }
   if (!it->second.CanAcceptAdds()) {
+    metrics.adds_rejected->Add(1);
     return Status::Unavailable("table '" + table + "' not accepting adds");
   }
 
@@ -148,17 +175,22 @@ Status LeafServer::AddRows(const std::string& table,
     SCUBA_RETURN_IF_ERROR(columnar_writer_.AppendBatch(
         table, t->write_buffer().MaterializeRows()));
   }
+  metrics.add_batches->Add(1);
+  metrics.rows_added->Add(rows.size());
   return Status::OK();
 }
 
 StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ServerMetrics& metrics = ServerMetrics::Get();
   if (!leaf_state_.CanAcceptQueries()) {
+    metrics.queries_rejected->Add(1);
     return Status::Unavailable("leaf " + std::to_string(config_.leaf_id) +
                                " not accepting queries (state " +
                                std::string(LeafStateName(leaf_state_.state())) +
                                ")");
   }
+  metrics.queries->Add(1);
   const Table* table = leaf_map_.GetTable(query.table);
   if (table == nullptr) {
     // This leaf holds no fraction of the table: empty (not an error).
@@ -195,6 +227,7 @@ size_t LeafServer::ExpireData() {
     }
     dropped += leaf_map_.GetTable(name)->ExpireData(now);
   }
+  ServerMetrics::Get().rows_expired->Add(dropped);
   return dropped;
 }
 

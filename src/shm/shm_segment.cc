@@ -7,7 +7,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+
+#include "obs/metrics.h"
 
 namespace scuba {
 namespace {
@@ -15,6 +18,37 @@ namespace {
 std::string ErrnoMessage(const std::string& what, const std::string& name) {
   return what + " '" + name + "': " + std::strerror(errno);
 }
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Segment resize metrics (scuba.shm.segment.*): grows are the price of an
+// underestimated table size (Fig 6 ablation), truncates the §4.4
+// drain-as-you-go release. Both are ftruncate + mremap, so the micros
+// histograms directly expose kernel remap cost.
+struct SegmentMetrics {
+  obs::Counter* grows;
+  obs::Counter* grow_bytes;
+  obs::Histogram* grow_micros;
+  obs::Counter* truncates;
+  obs::Counter* truncate_bytes;
+  obs::Histogram* truncate_micros;
+
+  static SegmentMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static SegmentMetrics m{
+        reg.GetCounter("scuba.shm.segment.grows"),
+        reg.GetCounter("scuba.shm.segment.grow_bytes"),
+        reg.GetHistogram("scuba.shm.segment.grow_micros"),
+        reg.GetCounter("scuba.shm.segment.truncates"),
+        reg.GetCounter("scuba.shm.segment.truncate_bytes"),
+        reg.GetHistogram("scuba.shm.segment.truncate_micros")};
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -157,6 +191,8 @@ void ShmSegment::CloseNoUnlink() {
 
 Status ShmSegment::Grow(size_t new_size) {
   if (new_size <= size_) return Status::OK();
+  SegmentMetrics& metrics = SegmentMetrics::Get();
+  int64_t start = SteadyNowMicros();
   if (ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
     return Status::IOError(ErrnoMessage("ftruncate (grow)", name_));
   }
@@ -164,6 +200,10 @@ Status ShmSegment::Grow(size_t new_size) {
   if (fresh == MAP_FAILED) {
     return Status::IOError(ErrnoMessage("mremap (grow)", name_));
   }
+  metrics.grows->Add(1);
+  metrics.grow_bytes->Add(new_size - size_);
+  metrics.grow_micros->Record(
+      static_cast<uint64_t>(SteadyNowMicros() - start));
   addr_ = fresh;
   size_ = new_size;
   return Status::OK();
@@ -172,6 +212,8 @@ Status ShmSegment::Grow(size_t new_size) {
 Status ShmSegment::Truncate(size_t new_size) {
   if (new_size >= size_) return Status::OK();
   if (new_size == 0) new_size = 1;  // Keep a valid mapping.
+  SegmentMetrics& metrics = SegmentMetrics::Get();
+  int64_t start = SteadyNowMicros();
   // Shrink WITHOUT MREMAP_MAYMOVE: a shrinking remap just unmaps the tail
   // pages, so the base address is stable. The parallel restore path
   // depends on this — workers keep memcpy'ing from offsets below the
@@ -184,6 +226,10 @@ Status ShmSegment::Truncate(size_t new_size) {
   if (ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
     return Status::IOError(ErrnoMessage("ftruncate (truncate)", name_));
   }
+  metrics.truncates->Add(1);
+  metrics.truncate_bytes->Add(size_ - new_size);
+  metrics.truncate_micros->Record(
+      static_cast<uint64_t>(SteadyNowMicros() - start));
   size_ = new_size;
   return Status::OK();
 }

@@ -1,14 +1,49 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <cstdio>
-#include <mutex>
+#include <cstdlib>
+#include <cstring>
 
 namespace scuba {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mutex;
+// Case-insensitive match against the leading `n` chars of `name`.
+bool LevelNameIs(const char* value, const char* name) {
+  size_t i = 0;
+  for (; value[i] != '\0' && name[i] != '\0'; ++i) {
+    char a = value[i];
+    if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+    if (a != name[i]) return false;
+  }
+  return value[i] == '\0' && name[i] == '\0';
+}
+
+// Startup level: SCUBA_LOG_LEVEL env var (debug|info|warn|warning|error or
+// 0-3), defaulting to warning.
+int InitialLogLevel() {
+  const char* env = std::getenv("SCUBA_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (LevelNameIs(env, "debug") || LevelNameIs(env, "0")) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  if (LevelNameIs(env, "info") || LevelNameIs(env, "1")) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (LevelNameIs(env, "warn") || LevelNameIs(env, "warning") ||
+      LevelNameIs(env, "2")) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (LevelNameIs(env, "error") || LevelNameIs(env, "3")) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -46,8 +81,17 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  // Emit the whole line (newline included) with a single write() so lines
+  // from concurrent copy/scan workers never interleave mid-line. A full
+  // line per syscall is also what log collectors expect.
+  stream_ << '\n';
+  std::string line = stream_.str();
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n <= 0) break;  // best effort; logging must never loop forever
+    off += static_cast<size_t>(n);
+  }
 }
 
 }  // namespace internal_logging

@@ -2,8 +2,57 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace scuba {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Cumulative pool metrics (scuba.util.thread_pool.*): queue wait is the
+// submit->dequeue gap (scheduling latency), run micros the task body
+// itself. Handles are cached once; the per-task cost is two clock reads
+// and three relaxed shard increments.
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Histogram* queue_wait_micros;
+  obs::Histogram* run_micros;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics m{
+        obs::MetricsRegistry::Global().GetCounter(
+            "scuba.util.thread_pool.tasks"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "scuba.util.thread_pool.queue_wait_micros"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "scuba.util.thread_pool.run_micros")};
+    return m;
+  }
+};
+
+// ByteBudget metrics (scuba.util.byte_budget.*): how often and for how
+// long the §4.4 in-flight cap actually throttled a copy worker.
+struct BudgetMetrics {
+  obs::Counter* stalls;
+  obs::Histogram* stall_micros;
+
+  static BudgetMetrics& Get() {
+    static BudgetMetrics m{
+        obs::MetricsRegistry::Global().GetCounter(
+            "scuba.util.byte_budget.stalls"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "scuba.util.byte_budget.stall_micros")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
@@ -25,7 +74,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), SteadyNowMicros()});
   }
   work_cv_.notify_one();
 }
@@ -36,8 +85,9 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock,
@@ -47,7 +97,13 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    int64_t start = SteadyNowMicros();
+    metrics.queue_wait_micros->Record(
+        static_cast<uint64_t>(std::max<int64_t>(0, start - task.enqueued)));
+    task.fn();
+    metrics.run_micros->Record(
+        static_cast<uint64_t>(std::max<int64_t>(0, SteadyNowMicros() - start)));
+    metrics.tasks->Add(1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;
@@ -102,15 +158,29 @@ void ByteBudget::Acquire(uint64_t bytes) {
     // waiter blocks new small acquisitions, so a steady stream of them
     // cannot starve this request — in-flight bytes drain to zero as the
     // current holders release.
-    ++oversized_waiting_;
-    cv_.wait(lock, [this] { return in_flight_bytes_ == 0; });
-    --oversized_waiting_;
+    if (in_flight_bytes_ != 0) {
+      BudgetMetrics& metrics = BudgetMetrics::Get();
+      metrics.stalls->Add(1);
+      int64_t start = SteadyNowMicros();
+      ++oversized_waiting_;
+      cv_.wait(lock, [this] { return in_flight_bytes_ == 0; });
+      --oversized_waiting_;
+      metrics.stall_micros->Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, SteadyNowMicros() - start)));
+    }
     in_flight_bytes_ += bytes;
     return;
   }
-  cv_.wait(lock, [this, bytes] {
-    return oversized_waiting_ == 0 && in_flight_bytes_ + bytes <= limit_;
-  });
+  if (oversized_waiting_ != 0 || in_flight_bytes_ + bytes > limit_) {
+    BudgetMetrics& metrics = BudgetMetrics::Get();
+    metrics.stalls->Add(1);
+    int64_t start = SteadyNowMicros();
+    cv_.wait(lock, [this, bytes] {
+      return oversized_waiting_ == 0 && in_flight_bytes_ + bytes <= limit_;
+    });
+    metrics.stall_micros->Record(
+        static_cast<uint64_t>(std::max<int64_t>(0, SteadyNowMicros() - start)));
+  }
   in_flight_bytes_ += bytes;
 }
 

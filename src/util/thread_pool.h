@@ -45,10 +45,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueued = 0;  // steady micros at Submit, for queue-wait stats
+  };
+
   std::mutex mutex_;
   std::condition_variable work_cv_;   // signals workers: task or shutdown
   std::condition_variable idle_cv_;   // signals Wait(): everything drained
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   size_t in_flight_ = 0;  // dequeued but not yet finished
   bool shutting_down_ = false;
   std::vector<std::thread> threads_;

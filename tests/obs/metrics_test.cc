@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scuba {
+namespace obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterSumsAcrossShardsAndThreads) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), 42u + kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+TEST(ObsMetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(3), 4u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+
+  // Every value lands in the bucket whose range covers it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 5ull, 100ull, 65535ull, 65536ull}) {
+    size_t i = Histogram::BucketIndex(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(i)) << v;
+    if (i + 1 < Histogram::kNumBuckets) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(i + 1)) << v;
+    }
+  }
+}
+
+TEST(ObsMetricsTest, HistogramSnapshotStats) {
+  Histogram hist;
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(100);
+  hist.Record(1000);
+
+  Histogram::Snapshot snap = hist.TakeSnapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1101u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 1101.0 / 4.0);
+  EXPECT_EQ(snap.buckets[Histogram::BucketIndex(0)], 1u);
+  EXPECT_EQ(snap.buckets[Histogram::BucketIndex(100)], 1u);
+
+  // Percentiles are bucket upper bounds, clamped to the observed max.
+  EXPECT_LE(snap.PercentileUpperBound(1.0), 1000u);
+  EXPECT_GE(snap.PercentileUpperBound(1.0), 512u);
+  EXPECT_LE(snap.PercentileUpperBound(0.0), 1u);
+}
+
+TEST(ObsMetricsTest, HistogramSnapshotMerge) {
+  Histogram a;
+  Histogram b;
+  a.Record(4);
+  a.Record(16);
+  b.Record(2);
+  b.Record(1024);
+
+  Histogram::Snapshot merged = a.TakeSnapshot();
+  merged.Merge(b.TakeSnapshot());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.sum, 4u + 16u + 2u + 1024u);
+  EXPECT_EQ(merged.min, 2u);
+  EXPECT_EQ(merged.max, 1024u);
+  EXPECT_EQ(merged.buckets[Histogram::BucketIndex(4)], 1u);
+  EXPECT_EQ(merged.buckets[Histogram::BucketIndex(2)], 1u);
+
+  // Merging an empty snapshot changes nothing.
+  Histogram::Snapshot empty;
+  Histogram::Snapshot copy = merged;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.count, merged.count);
+  EXPECT_EQ(copy.min, merged.min);
+  EXPECT_EQ(copy.max, merged.max);
+}
+
+TEST(ObsMetricsTest, RegistryHandlesAreStable) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c1 = reg.GetCounter("scuba.test.stable_counter");
+  Counter* c2 = reg.GetCounter("scuba.test.stable_counter");
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = reg.GetHistogram("scuba.test.stable_hist");
+  Histogram* h2 = reg.GetHistogram("scuba.test.stable_hist");
+  EXPECT_EQ(h1, h2);
+
+  c1->ResetForTest();
+  c1->Add(3);
+  EXPECT_EQ(c2->Value(), 3u);
+
+  // Reset zeroes in place; the handle stays valid.
+  reg.ResetForTest();
+  EXPECT_EQ(c1->Value(), 0u);
+  EXPECT_EQ(reg.GetCounter("scuba.test.stable_counter"), c1);
+}
+
+// The TSan-leg workhorse: hammer one histogram + counter from many threads
+// while another thread repeatedly snapshots/serializes. Correctness checks
+// run after the join; during the run TSan checks the record/snapshot races.
+TEST(ObsMetricsTest, SnapshotUnderConcurrentRecordIsClean) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* counter = reg.GetCounter("scuba.test.concurrent_counter");
+  Histogram* hist = reg.GetHistogram("scuba.test.concurrent_hist");
+  counter->ResetForTest();
+  hist->ResetForTest();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      Histogram::Snapshot snap = hist->TakeSnapshot();
+      EXPECT_LE(snap.min, snap.max);
+      (void)counter->Value();
+      (void)reg.ToJson();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+        hist->Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(counter->Value(), uint64_t{kThreads} * kPerThread);
+  Histogram::Snapshot final_snap = hist->TakeSnapshot();
+  EXPECT_EQ(final_snap.count, uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(final_snap.min, 0u);
+  EXPECT_EQ(final_snap.max, uint64_t{kThreads} * kPerThread - 1);
+}
+
+TEST(ObsMetricsTest, ToJsonContainsAllSections) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("scuba.test.json_counter")->Add(5);
+  reg.GetGauge("scuba.test.json_gauge")->Set(-2);
+  reg.GetHistogram("scuba.test.json_hist")->Record(33);
+
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"scuba.test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"scuba.test.json_gauge\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"scuba.test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsMetricsTest, ConvenienceRecordersHitTheRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("scuba.test.conv_counter")->ResetForTest();
+  IncrCounter("scuba.test.conv_counter");
+  IncrCounter("scuba.test.conv_counter", 9);
+  EXPECT_EQ(reg.GetCounter("scuba.test.conv_counter")->Value(), 10u);
+
+  SetGauge("scuba.test.conv_gauge", 123);
+  EXPECT_EQ(reg.GetGauge("scuba.test.conv_gauge")->Value(), 123);
+
+  reg.GetHistogram("scuba.test.conv_hist")->ResetForTest();
+  RecordHistogram("scuba.test.conv_hist", 64);
+  EXPECT_EQ(reg.GetHistogram("scuba.test.conv_hist")->TakeSnapshot().count,
+            1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace scuba

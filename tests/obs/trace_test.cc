@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scuba {
+namespace obs {
+namespace {
+
+TEST(ObsTracerTest, SequentialRootSpansAreOrdered) {
+  PhaseTracer tracer;
+  {
+    PhaseTracer::Span a(&tracer, "phase_a");
+  }
+  {
+    PhaseTracer::Span b(&tracer, "phase_b");
+  }
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "phase_a");
+  EXPECT_EQ(spans[1].name, "phase_b");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_LE(spans[0].end_micros, spans[1].start_micros + 1);
+  EXPECT_LE(spans[0].start_micros, spans[0].end_micros);
+}
+
+TEST(ObsTracerTest, SpansNestPerThread) {
+  PhaseTracer tracer;
+  {
+    PhaseTracer::Span outer(&tracer, "outer");
+    {
+      PhaseTracer::Span inner(&tracer, "inner");
+      {
+        PhaseTracer::Span leaf(&tracer, "leaf");
+      }
+    }
+  }
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].name, "leaf");
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_EQ(spans[2].parent, 1);
+
+  // A sibling after the nest goes back to root depth.
+  {
+    PhaseTracer::Span sibling(&tracer, "sibling");
+  }
+  spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[3].depth, 0);
+  EXPECT_EQ(spans[3].parent, -1);
+}
+
+TEST(ObsTracerTest, BytesAttributedOnEnd) {
+  PhaseTracer tracer;
+  {
+    PhaseTracer::Span span(&tracer, "copy");
+    span.AddBytes(100);
+    span.AddBytes(23);
+  }
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].bytes, 123u);
+}
+
+TEST(ObsTracerTest, EndIsIdempotentAndNullTracerIsNoop) {
+  PhaseTracer tracer;
+  PhaseTracer::Span span(&tracer, "once");
+  span.End();
+  span.End();  // second End must not corrupt the open-span stack
+  EXPECT_EQ(tracer.Snapshot().size(), 1u);
+
+  PhaseTracer::Span null_span(nullptr, "nothing");
+  null_span.AddBytes(5);
+  null_span.End();  // all no-ops
+}
+
+TEST(ObsTracerTest, AddCompletedSpanInsertsRootSpan) {
+  PhaseTracer tracer;
+  tracer.AddCompletedSpan("disk_read", 10, 250, 4096);
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "disk_read");
+  EXPECT_EQ(spans[0].start_micros, 10);
+  EXPECT_EQ(spans[0].end_micros, 250);
+  EXPECT_EQ(spans[0].bytes, 4096u);
+  EXPECT_EQ(spans[0].depth, 0);
+}
+
+TEST(ObsTracerTest, RootCoverageSumsOnlyRootSpans) {
+  PhaseTracer tracer;
+  tracer.AddCompletedSpan("a", 0, 100);
+  tracer.AddCompletedSpan("b", 100, 250);
+  {
+    // Live nested spans: only the root counts toward coverage.
+    PhaseTracer::Span outer(&tracer, "outer");
+    PhaseTracer::Span inner(&tracer, "inner");
+  }
+  int64_t coverage = tracer.RootCoverageMicros();
+  EXPECT_GE(coverage, 250);
+  // The nested inner span must not be double counted: coverage is at most
+  // the two synthetic roots plus outer's (tiny) duration.
+  EXPECT_LE(coverage, 250 + tracer.ElapsedMicros());
+}
+
+TEST(ObsTracerTest, ConcurrentSpansFromWorkersDoNotNestAcrossThreads) {
+  PhaseTracer tracer;
+  PhaseTracer::Span root(&tracer, "root");
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&tracer, i] {
+      PhaseTracer::Span span(&tracer, "worker_" + std::to_string(i));
+    });
+  }
+  for (auto& w : workers) w.join();
+  root.End();
+
+  std::vector<TraceSpan> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  // Worker spans opened on other threads are roots of their own threads,
+  // not children of "root" (which lives on the main thread).
+  for (const TraceSpan& s : spans) {
+    if (s.name != "root") {
+      EXPECT_EQ(s.parent, -1) << s.name;
+      EXPECT_NE(s.thread, spans[0].thread) << s.name;
+    }
+  }
+}
+
+TEST(ObsTracerTest, ToJsonListsSpansAndElapsed) {
+  PhaseTracer tracer;
+  tracer.AddCompletedSpan("seal_buffers", 0, 42, 7);
+  std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"elapsed_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"seal_buffers\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_micros\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\": 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace scuba
