@@ -26,6 +26,7 @@
 
 #include "bench_util.h"
 #include "columnar/table.h"
+#include "core/restart_manager.h"
 #include "ingest/row_generator.h"
 #include "obs/metrics.h"
 #include "query/executor.h"
@@ -308,6 +309,8 @@ int Run(const std::string& json_path, bool smoke) {
   }
 
   if (!json_path.empty()) {
+    json.Section("schema_version",
+                 std::to_string(kRestartReportSchemaVersion));
     json.Section("metrics", obs::MetricsRegistry::Global().ToJson());
     if (!json.WriteTo(json_path)) return 1;
   }

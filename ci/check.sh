@@ -32,6 +32,8 @@ for path in sys.argv[1:]:
     with open(path) as f:
         doc = json.load(f)
     assert doc.get("results"), f"{path}: empty results"
+    assert doc.get("schema_version") == 2, \
+        f"{path}: missing/unexpected schema_version: {doc.get('schema_version')!r}"
     metrics = doc.get("metrics")
     assert isinstance(metrics, dict), f"{path}: missing metrics block"
     for key in ("counters", "gauges", "histograms"):
@@ -41,13 +43,18 @@ for path in sys.argv[1:]:
 PYEOF
 
 echo
+echo "=== Self-stats smoke: __scuba_stats restart rows survive a rollover ==="
+cmake --build build-release -j "${JOBS}" --target selfstats_rollover
+./build-release/examples/selfstats_rollover
+
+echo
 echo "=== TSan build + core/shm/util/query/obs suites ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCUBA_TSAN=ON \
   >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
   --target util_test shm_test core_test query_test server_test obs_test
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator|ObsMetrics|ObsTracer|RestartTrace'
+  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator|ObsMetrics|ObsTracer|RestartTrace|RestartHeartbeat|StatsExporter|SelfStats'
 
 echo
 echo "=== OK ==="

@@ -1,10 +1,14 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "disk/file.h"
+#include "shm/restart_heartbeat.h"
 #include "shm/shm_segment.h"
 #include "util/clock.h"
 #include "util/logging.h"
@@ -34,6 +38,9 @@ LeafServerConfig Cluster::MakeLeafConfig(uint32_t leaf_id) const {
   lc.memory_recovery_enabled = config_.memory_recovery_enabled;
   lc.memory_capacity_bytes = config_.leaf_memory_capacity_bytes;
   lc.default_table_limits = config_.default_table_limits;
+  lc.publish_restart_heartbeat = config_.publish_restart_heartbeat;
+  lc.self_stats_enabled = config_.self_stats_enabled;
+  lc.self_stats_period_millis = config_.self_stats_period_millis;
   lc.clock = config_.clock;
   return lc;
 }
@@ -73,9 +80,76 @@ StatusOr<uint64_t> Cluster::PumpTailers(bool flush) {
   return delivered;
 }
 
-Status Cluster::RolloverLeaf(size_t index,
-                             const RealRolloverOptions& options,
-                             RealRolloverReport* report) {
+Status Cluster::MonitoredShutdown(
+    LeafServer* old_leaf, const RealRolloverOptions& options,
+    RealRolloverReport* report,
+    const std::function<DashboardSample()>& base_sample) {
+  uint32_t leaf_id = old_leaf->config().leaf_id;
+  auto reader =
+      RestartHeartbeat::OpenForRead(config_.namespace_prefix, leaf_id);
+  ShutdownStats stats;
+  if (!reader.ok()) {
+    // No heartbeat block (leaf opted out or attach failed at start): fall
+    // back to the unmonitored synchronous path.
+    return old_leaf->ShutdownToSharedMemory(&stats);
+  }
+
+  Status shutdown_status;
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    shutdown_status = old_leaf->ShutdownToSharedMemory(&stats);
+    done.store(true, std::memory_order_release);
+  });
+
+  // Poll the heartbeat: any advance (phase, bytes, or stamp) resets the
+  // stall clock; silence past the threshold means the copy loop is wedged
+  // (or the process would be dead, in the multi-process deployment) and
+  // the leaf gets a targeted cancel instead of a blind kill -9.
+  RestartHeartbeat::Reading last{};
+  RestartPhase recorded_phase = RestartPhase::kIdle;
+  int64_t last_advance_micros = RestartHeartbeat::MonotonicMicros();
+  const int64_t stall_micros = options.heartbeat_stall_millis * 1000;
+  bool cancelled = false;
+  while (!done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.heartbeat_poll_millis));
+    auto reading = reader->Read();
+    if (reading.ok()) {
+      if (reading->AdvancedOver(last)) {
+        last = *reading;
+        last_advance_micros = RestartHeartbeat::MonotonicMicros();
+      }
+      // Timeline: one live sample per phase transition, carrying the
+      // heartbeat's progress counters for the dashboard.
+      if (reading->phase != recorded_phase) {
+        recorded_phase = reading->phase;
+        DashboardSample s = base_sample();
+        s.phase = std::string(RestartPhaseName(reading->phase));
+        s.bytes_copied = reading->bytes_copied;
+        s.bytes_total = reading->bytes_total;
+        report->timeline.push_back(s);
+      }
+    }
+    if (!cancelled && stall_micros > 0 &&
+        RestartHeartbeat::MonotonicMicros() - last_advance_micros >
+            stall_micros) {
+      SCUBA_WARN << "leaf " << leaf_id << " heartbeat stalled in phase "
+                 << RestartPhaseName(last.phase) << " ("
+                 << last.bytes_copied << "/" << last.bytes_total
+                 << " bytes); cancelling shutdown";
+      old_leaf->RequestShutdownCancel();
+      cancelled = true;
+      ++report->heartbeat_stall_cancels;
+    }
+  }
+  worker.join();
+  return shutdown_status;
+}
+
+Status Cluster::RolloverLeaf(
+    size_t index, const RealRolloverOptions& options,
+    RealRolloverReport* report,
+    const std::function<DashboardSample()>& base_sample) {
   LeafServer* old_leaf = leaves_[index].get();
   uint32_t leaf_id = old_leaf->config().leaf_id;
 
@@ -84,8 +158,14 @@ Status Cluster::RolloverLeaf(size_t index,
         random_.Bernoulli(options.inject_shutdown_kill_rate)) {
       old_leaf->InjectShutdownKillForTest();
     }
-    ShutdownStats stats;
-    Status s = old_leaf->ShutdownToSharedMemory(&stats);
+    Status s;
+    if (options.monitor_heartbeat &&
+        old_leaf->config().publish_restart_heartbeat) {
+      s = MonitoredShutdown(old_leaf, options, report, base_sample);
+    } else {
+      ShutdownStats stats;
+      s = old_leaf->ShutdownToSharedMemory(&stats);
+    }
     if (s.IsAborted()) {
       // Watchdog kill (§4.3): the script gives up on this leaf; its
       // successor recovers from the disk backup instead.
@@ -138,7 +218,7 @@ StatusOr<RealRolloverReport> Cluster::Rollover(
   // (leaf i on machine i % M), so consecutive indices hit distinct
   // machines.
   size_t next = 0;
-  auto sample = [&](size_t restarting) {
+  auto base = [&](size_t restarting) {
     DashboardSample s;
     s.time_seconds = static_cast<double>(watch.ElapsedMicros()) / 1e6;
     s.fraction_restarting =
@@ -146,7 +226,11 @@ StatusOr<RealRolloverReport> Cluster::Rollover(
     s.fraction_new =
         static_cast<double>(report.leaves_rolled) / static_cast<double>(total);
     s.fraction_old = 1.0 - s.fraction_restarting - s.fraction_new;
-    report.timeline.push_back(s);
+    s.restarting_leaves = restarting;
+    return s;
+  };
+  auto sample = [&](size_t restarting) {
+    report.timeline.push_back(base(restarting));
   };
 
   sample(0);
@@ -158,7 +242,8 @@ StatusOr<RealRolloverReport> Cluster::Rollover(
         1.0 - static_cast<double>(batch) / static_cast<double>(total));
 
     for (size_t i = 0; i < batch; ++i) {
-      SCUBA_RETURN_IF_ERROR(RolloverLeaf(next + i, options, &report));
+      SCUBA_RETURN_IF_ERROR(
+          RolloverLeaf(next + i, options, &report, [&] { return base(1); }));
       ++report.leaves_rolled;
     }
     next += batch;

@@ -1,6 +1,7 @@
 #ifndef SCUBA_CLUSTER_CLUSTER_H_
 #define SCUBA_CLUSTER_CLUSTER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,13 @@ struct ClusterConfig {
   uint64_t leaf_memory_capacity_bytes = 256ull << 20;
   bool memory_recovery_enabled = true;
   TableLimits default_table_limits;
+  /// Fanned into every leaf: publish restart progress through the per-leaf
+  /// shm heartbeat block (the rollover monitor and dashboard read it).
+  bool publish_restart_heartbeat = true;
+  /// Fanned into every leaf: run the self-stats exporter, filling the
+  /// reserved `__scuba_stats` table ("Scuba monitors Scuba").
+  bool self_stats_enabled = false;
+  int64_t self_stats_period_millis = 1000;
   Clock* clock = nullptr;
   uint64_t seed = 11;
 };
@@ -46,6 +54,16 @@ struct RealRolloverOptions {
   /// (§4.3) and its successor must disk-recover. Failure injection for
   /// tests/benches; the rollover itself must survive it.
   double inject_shutdown_kill_rate = 0.0;
+  /// Phase-aware watchdog: run each shm shutdown on a worker thread while
+  /// the orchestrator polls the leaf's heartbeat block. A leaf whose
+  /// heartbeat stops advancing for `heartbeat_stall_millis` gets a targeted
+  /// RequestShutdownCancel() — it aborts at the next row-block boundary and
+  /// its successor disk-recovers. This replaces the paper's blunt
+  /// "kill -9 after 180 s" (§4.3) with progress-based stall detection; the
+  /// default threshold keeps the same 3-minute patience.
+  bool monitor_heartbeat = true;
+  int64_t heartbeat_stall_millis = 180'000;
+  int64_t heartbeat_poll_millis = 10;
 };
 
 /// Outcome of a real rollover.
@@ -57,6 +75,9 @@ struct RealRolloverReport {
   size_t disk_recoveries = 0;
   size_t fresh_recoveries = 0;  // leaf held no data (placement skew)
   size_t watchdog_kills = 0;
+  /// Subset of watchdog_kills issued by the heartbeat stall monitor (as
+  /// opposed to injected kills).
+  size_t heartbeat_stall_cancels = 0;
   uint64_t rows_before = 0;
   uint64_t rows_after = 0;
   double min_availability = 1.0;
@@ -113,8 +134,18 @@ class Cluster {
   LeafServerConfig MakeLeafConfig(uint32_t leaf_id) const;
   std::vector<LeafServer*> LeafPointers() const;
   /// Restarts one leaf via shutdown-to-shm + new server + recover.
+  /// `base_sample` builds a DashboardSample with the time/fraction fields
+  /// filled; the heartbeat monitor copies it, adds live phase + bytes, and
+  /// appends it to the report timeline on every phase transition.
   Status RolloverLeaf(size_t index, const RealRolloverOptions& options,
-                      RealRolloverReport* report);
+                      RealRolloverReport* report,
+                      const std::function<DashboardSample()>& base_sample);
+  /// Runs `old_leaf`'s shm shutdown on a worker thread while polling its
+  /// heartbeat block; cancels it on stall. Returns the shutdown status.
+  Status MonitoredShutdown(LeafServer* old_leaf,
+                           const RealRolloverOptions& options,
+                           RealRolloverReport* report,
+                           const std::function<DashboardSample()>& base_sample);
 
   ClusterConfig config_;
   Random random_{11};

@@ -33,10 +33,21 @@ std::string Dashboard::RenderDetailedSample(const DashboardSample& sample,
                                             size_t bar_width) {
   std::string line = RenderSample(sample, bar_width);
   if (sample.phase.empty()) return line;
-  char detail[96];
-  std::snprintf(detail, sizeof(detail), "  | %zu leaves %s %.2f GB/s",
-                sample.restarting_leaves, sample.phase.c_str(),
-                sample.phase_bytes_per_sec / (1024.0 * 1024.0 * 1024.0));
+  char detail[128];
+  if (sample.bytes_total > 0) {
+    // Heartbeat-fed live view: copy-phase completion from the shm block.
+    double pct = 100.0 * static_cast<double>(sample.bytes_copied) /
+                 static_cast<double>(sample.bytes_total);
+    std::snprintf(detail, sizeof(detail),
+                  "  | %zu leaves %s %5.1f%% (%llu/%llu bytes)",
+                  sample.restarting_leaves, sample.phase.c_str(), pct,
+                  static_cast<unsigned long long>(sample.bytes_copied),
+                  static_cast<unsigned long long>(sample.bytes_total));
+  } else {
+    std::snprintf(detail, sizeof(detail), "  | %zu leaves %s %.2f GB/s",
+                  sample.restarting_leaves, sample.phase.c_str(),
+                  sample.phase_bytes_per_sec / (1024.0 * 1024.0 * 1024.0));
+  }
   return line + detail;
 }
 

@@ -50,6 +50,12 @@ struct DashboardSample {
   size_t restarting_leaves = 0;
   std::string phase;
   double phase_bytes_per_sec = 0;
+  /// Live heartbeat progress of the restarting batch (real rollovers only:
+  /// read from the leaves' shm heartbeat blocks; zero in pure simulation).
+  /// bytes_copied/bytes_total is the copy-phase completion fraction the
+  /// dashboard renders as a percentage.
+  uint64_t bytes_copied = 0;
+  uint64_t bytes_total = 0;
 };
 
 /// Results of one simulated rollover.

@@ -58,6 +58,10 @@ RestartManager::RestartManager(RestartConfig config)
   config_.restore.leaf_id = config_.leaf_id;
   config_.shutdown.namespace_prefix = config_.namespace_prefix;
   config_.shutdown.leaf_id = config_.leaf_id;
+  if (config_.heartbeat != nullptr) {
+    config_.restore.heartbeat = config_.heartbeat;
+    config_.shutdown.heartbeat = config_.heartbeat;
+  }
   // Fan the top-level thread count into each copy path, without clobbering
   // a sub-option a caller tuned individually.
   if (config_.num_copy_threads > 1) {
@@ -88,6 +92,7 @@ StatusOr<RecoveryResult> RestartManager::Recover(LeafMap* leaf_map,
   }
   RecoveryResult result;
   obs::PhaseTracer tracer;
+  RestartHeartbeat* heartbeat = config_.heartbeat;
   auto finish = [&](RecoverySource source) {
     result.source = source;
     result.trace_json = tracer.ToJson();
@@ -99,6 +104,7 @@ StatusOr<RecoveryResult> RestartManager::Recover(LeafMap* leaf_map,
     WriteReport("recovery", body.str());
   };
 
+  if (heartbeat != nullptr) heartbeat->SetPhase(RestartPhase::kOpenMetadata);
   if (config_.memory_recovery_enabled) {
     RestoreOptions restore_options = config_.restore;
     restore_options.tracer = &tracer;
@@ -131,24 +137,30 @@ StatusOr<RecoveryResult> RestartManager::Recover(LeafMap* leaf_map,
     finish(RecoverySource::kFresh);
     return result;
   }
+  if (heartbeat != nullptr) heartbeat->SetPhase(RestartPhase::kDiskRecover);
   int64_t disk_start = tracer.ElapsedMicros();
   uint64_t tables_recovered = 0;
+  Status disk_status;
   if (config_.backup_format == BackupFormatKind::kColumnar) {
-    SCUBA_RETURN_IF_ERROR(
-        ColumnarBackupReader::RecoverLeaf(config_.backup_dir, leaf_map,
-                                          config_.columnar_disk, now,
-                                          &result.columnar_stats));
+    disk_status = ColumnarBackupReader::RecoverLeaf(
+        config_.backup_dir, leaf_map, config_.columnar_disk, now,
+        &result.columnar_stats);
     tables_recovered = result.columnar_stats.tables_recovered;
     AddDiskPhaseSpans(&tracer, disk_start, result.columnar_stats.read_micros,
                       result.columnar_stats.translate_micros,
                       result.columnar_stats.bytes_read);
   } else {
-    SCUBA_RETURN_IF_ERROR(BackupReader::RecoverLeaf(
-        config_.backup_dir, leaf_map, config_.disk, now, &result.disk_stats));
+    disk_status = BackupReader::RecoverLeaf(config_.backup_dir, leaf_map,
+                                            config_.disk, now,
+                                            &result.disk_stats);
     tables_recovered = result.disk_stats.tables_recovered;
     AddDiskPhaseSpans(&tracer, disk_start, result.disk_stats.read_micros,
                       result.disk_stats.translate_micros,
                       result.disk_stats.bytes_read);
+  }
+  if (!disk_status.ok()) {
+    if (heartbeat != nullptr) heartbeat->SetPhase(RestartPhase::kFailed);
+    return disk_status;
   }
   finish(tables_recovered > 0 ? RecoverySource::kDisk
                               : RecoverySource::kFresh);
@@ -185,7 +197,8 @@ void RestartManager::WriteReport(const std::string& op,
                      "_report.json";
   std::ofstream out(path, std::ios::trunc);
   if (out) {
-    out << "{\"leaf_id\": " << config_.leaf_id << ", \"op\": \"" << op
+    out << "{\"schema_version\": " << kRestartReportSchemaVersion
+        << ", \"leaf_id\": " << config_.leaf_id << ", \"op\": \"" << op
         << "\", " << body_json
         << ", \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
         << "}\n";

@@ -23,6 +23,13 @@ enum class RecoverySource {
 
 std::string_view RecoverySourceName(RecoverySource source);
 
+/// Version of the restart-report JSON artifacts
+/// (leaf_<id>.{shutdown,recovery}_report.json) and of the bench --json
+/// metrics section. v1 had no version field; v2 added "schema_version"
+/// itself plus interpolated histogram percentiles in the metrics snapshot.
+/// Bump when a consumer-visible field changes shape or meaning.
+inline constexpr int kRestartReportSchemaVersion = 2;
+
 /// On-disk backup format.
 enum class BackupFormatKind {
   /// The paper's production format: row-major, value-encoded — recovery
@@ -72,6 +79,11 @@ struct RestartConfig {
   /// scuba.core.restart.report_write_failures instead of failing the op.
   /// Skipped silently when backup_dir is empty.
   bool dump_restart_report = true;
+  /// Optional restart heartbeat (owned by the server for its process
+  /// lifetime); fanned into restore.heartbeat and shutdown.heartbeat by the
+  /// constructor, and used by Recover to publish the open_metadata /
+  /// disk_recover / alive / failed phases. nullptr = no publication.
+  RestartHeartbeat* heartbeat = nullptr;
 };
 
 /// Result of RestartManager::Recover.

@@ -106,6 +106,9 @@ Status RestoreTableSegment(const std::string& segment_name,
       ++stats->columns_restored;
       metrics.bytes->Add(src.size());
       metrics.columns->Add(1);
+      if (options.heartbeat != nullptr) {
+        options.heartbeat->AddBytesCopied(src.size());
+      }
       block_payload += src.size();
     }
     table_span.AddBytes(block_payload);
@@ -194,7 +197,8 @@ struct RestoreControl {
 // on return, so leaving them counted would overstate the tracker's
 // last/peak readings on the fallback path.
 Status CopyOneBlock(SegmentRestoreJob* job, size_t rb, bool verify_checksums,
-                    RestoreStats* stats, FootprintCounter* footprint) {
+                    RestartHeartbeat* heartbeat, RestoreStats* stats,
+                    FootprintCounter* footprint) {
   const TableSegmentReader::BlockEntry& entry = job->reader.block(rb);
   const size_t num_columns = entry.columns.size();
 
@@ -216,6 +220,7 @@ Status CopyOneBlock(SegmentRestoreJob* job, size_t rb, bool verify_checksums,
     ++stats->columns_restored;
     metrics.bytes->Add(size);
     metrics.columns->Add(1);
+    if (heartbeat != nullptr) heartbeat->AddBytesCopied(size);
   }
   metrics.block_bytes->Record(added);
 
@@ -299,6 +304,7 @@ Status RestoreSegmentsParallel(const std::vector<std::string>& segment_names,
                               : threads * max_block_bytes;
   RestoreControl ctl(budget_limit);
   const bool verify = options.verify_checksums;
+  RestartHeartbeat* heartbeat = options.heartbeat;
 
   {
     // Scoped so the pool drains and joins before jobs/ctl are destroyed,
@@ -314,9 +320,10 @@ Status RestoreSegmentsParallel(const std::vector<std::string>& segment_names,
       for (size_t rb = n; rb-- > 0;) {
         if (ctl.cancelled.load(std::memory_order_acquire)) break;
         ctl.budget.Acquire(job->payload_bytes[rb]);
-        pool.Submit([job, rb, &ctl, stats, footprint, verify] {
+        pool.Submit([job, rb, &ctl, stats, footprint, verify, heartbeat] {
           if (!ctl.cancelled.load(std::memory_order_acquire)) {
-            Status s = CopyOneBlock(job, rb, verify, stats, footprint);
+            Status s =
+                CopyOneBlock(job, rb, verify, heartbeat, stats, footprint);
             if (!s.ok()) ctl.RecordError(std::move(s));
           }
           FinishBlock(job, rb, &ctl, footprint);
@@ -411,10 +418,14 @@ Status RestoreFromShm(LeafMap* leaf_map, const RestoreOptions& options,
   // truncating shm as the drain advances.
   obs::PhaseTracer::Span copy_span(tracer, "copy_in");
 
-  FootprintCounter footprint(
-      TotalShmBytes("/" + options.namespace_prefix + "_leaf_" +
-                    std::to_string(options.leaf_id) + "_"),
-      tracker);
+  uint64_t shm_bytes = TotalShmBytes("/" + options.namespace_prefix +
+                                     "_leaf_" +
+                                     std::to_string(options.leaf_id) + "_");
+  FootprintCounter footprint(shm_bytes, tracker);
+  if (options.heartbeat != nullptr) {
+    options.heartbeat->SetBytesTotal(shm_bytes);
+    options.heartbeat->SetPhase(RestartPhase::kCopyIn);
+  }
 
   Status restore_status;
   if (options.num_copy_threads > 1 && !meta.table_segment_names().empty()) {

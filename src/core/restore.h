@@ -8,6 +8,7 @@
 #include "columnar/leaf_map.h"
 #include "core/footprint.h"
 #include "obs/trace.h"
+#include "shm/restart_heartbeat.h"
 #include "util/status.h"
 
 namespace scuba {
@@ -36,6 +37,10 @@ struct RestoreOptions {
   /// path adds per-table and segment_truncate child spans. nullptr =
   /// tracing off.
   obs::PhaseTracer* tracer = nullptr;
+  /// Optional restart heartbeat: the restore publishes bytes_total, the
+  /// copy_in phase, and per-block byte progress through it so the recovery
+  /// is observable from OUTSIDE the process. nullptr = off.
+  RestartHeartbeat* heartbeat = nullptr;
 };
 
 /// Counters from one restore. Fields are atomics because the parallel

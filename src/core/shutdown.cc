@@ -99,6 +99,22 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
   // Combined heap+shm accounting, shared by all copy workers.
   FootprintCounter footprint(leaf_map->TotalMemoryBytes(), tracker);
 
+  // External progress publication (§4.3 made observable): total first, so
+  // a watcher that sees copy_out can already render a percentage.
+  RestartHeartbeat* heartbeat = options.heartbeat;
+  if (heartbeat != nullptr) {
+    heartbeat->SetBytesTotal(leaf_map->TotalMemoryBytes());
+  }
+
+  // Cooperative cancel: the first observer (an options.cancel flip or a
+  // failed worker) sets `aborted`; everyone else drains fast.
+  std::atomic<bool> aborted{false};
+  auto cancelled = [&options, &aborted] {
+    return aborted.load(std::memory_order_relaxed) ||
+           (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_acquire));
+  };
+
   // Fig 6 step 1-2: metadata segment with valid=false.
   obs::PhaseTracer::Span meta_span(tracer, "create_metadata");
   SCUBA_ASSIGN_OR_RETURN(
@@ -109,6 +125,7 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
   // The copy-out phase: budget sizing, per-table layout reservation, the
   // column memcpy fan-out, and segment sealing all belong to it.
   obs::PhaseTracer::Span copy_span(tracer, "copy_out");
+  if (heartbeat != nullptr) heartbeat->SetPhase(RestartPhase::kCopyOut);
 
   // In-flight budget: bytes copied to shm whose heap column has not been
   // freed yet. Serial mode needs none — the Fig 6 loop frees each column
@@ -188,8 +205,15 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
       // offsets, not pointers, make the buffer position-independent), then
       // delete it from the heap.
       auto copy_block = [w, block, offsets = std::move(offsets), &budget,
-                         &footprint, stats, &metrics,
+                         &footprint, stats, &metrics, heartbeat, &cancelled,
+                         &aborted, &options,
                          free_incrementally = options.free_incrementally] {
+        // Cancel granularity is one row block: a watchdog kill lands here
+        // before the next block's memcpys start.
+        if (cancelled()) {
+          aborted.store(true, std::memory_order_relaxed);
+          return;
+        }
         for (size_t c = 0; c < offsets.size(); ++c) {
           const RowBlockColumn* column = block->column(c);
           uint64_t column_bytes = column->total_bytes();
@@ -201,6 +225,7 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
           metrics.columns->Add(1);
           metrics.bytes->Add(column_bytes);
           metrics.column_bytes->Record(column_bytes);
+          if (heartbeat != nullptr) heartbeat->AddBytesCopied(column_bytes);
           if (free_incrementally) {
             // Fig 6: delete row block column from heap.
             block->ReleaseColumn(c).reset();
@@ -210,11 +235,15 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
         }
         ++stats->row_blocks_copied;
         metrics.row_blocks->Add(1);
+        if (options.after_block_copied) options.after_block_copied();
       };
       if (pool != nullptr) {
         deferred.push_back(std::move(copy_block));
       } else {
         copy_block();
+        if (aborted.load(std::memory_order_relaxed)) {
+          return Status::Aborted("shutdown cancelled mid-copy");
+        }
       }
     }
     for (auto& task : deferred) pool->Submit(std::move(task));
@@ -246,6 +275,12 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
     // then every segment is sealed.
     obs::PhaseTracer::Span drain_span(tracer, "drain");
     pool->Wait();
+    if (cancelled()) {
+      // A worker observed the cancel (or the flag flipped while draining):
+      // segments are part-copied, so skip sealing — the valid bit stays
+      // false and the successor disk-recovers.
+      return Status::Aborted("shutdown cancelled mid-copy");
+    }
     for (TableCopyJob& job : jobs) {
       stats->segment_grow_count += job.writer->grow_count();
       metrics.segment_grows->Add(job.writer->grow_count());
@@ -280,7 +315,11 @@ Status ShutdownToShm(LeafMap* leaf_map, const ShutdownOptions& options,
 
   // Fig 6 final step: set valid bit to true. Everything before this point
   // leaves the valid bit false, so a failure or kill forces disk recovery.
+  if (cancelled()) {
+    return Status::Aborted("shutdown cancelled before set_valid");
+  }
   obs::PhaseTracer::Span valid_span(tracer, "set_valid");
+  if (heartbeat != nullptr) heartbeat->SetPhase(RestartPhase::kSetValid);
   SCUBA_RETURN_IF_ERROR(meta.SetValid(true));
   valid_span.End();
 

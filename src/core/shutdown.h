@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "columnar/leaf_map.h"
 #include "core/footprint.h"
 #include "obs/trace.h"
+#include "shm/restart_heartbeat.h"
 #include "util/status.h"
 
 namespace scuba {
@@ -41,6 +43,20 @@ struct ShutdownOptions {
   /// root spans (seal_buffers, create_metadata, copy_out, set_valid) with
   /// per-table and segment_grow child spans. nullptr = tracing off.
   obs::PhaseTracer* tracer = nullptr;
+  /// Optional restart heartbeat: the copy loop publishes bytes_total, the
+  /// copy_out/set_valid phases, and per-block byte progress through it so
+  /// the shutdown is observable from OUTSIDE the process. nullptr = off.
+  RestartHeartbeat* heartbeat = nullptr;
+  /// Optional cooperative cancel, polled between row-block copies (both
+  /// serial and parallel modes). When it reads true the shutdown stops,
+  /// returns Aborted, and leaves the valid bit false — the phase-aware
+  /// watchdog's targeted kill: the successor recovers from disk without
+  /// waiting out the blunt 180 s timeout (§4.3).
+  const std::atomic<bool>* cancel = nullptr;
+  /// Test hook invoked after every row-block copy, from whichever thread
+  /// performed it. Fault injection uses it to freeze the copy loop and
+  /// exercise heartbeat stall detection. nullptr = off.
+  std::function<void()> after_block_copied;
 };
 
 /// Counters from one shutdown. Fields are atomics because the parallel

@@ -1,18 +1,40 @@
 #include "ingest/category_log.h"
 
+#include "obs/metrics.h"
+#include "obs/stats_exporter.h"
+#include "util/logging.h"
+
 namespace scuba {
 
+bool CategoryLog::IsReservedCategory(const std::string& category) {
+  return obs::IsSystemTable(category);
+}
+
 void CategoryLog::Append(const std::string& category, Row row) {
+  if (IsReservedCategory(category)) {
+    DropReserved(category, 1);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   logs_[category].push_back(std::move(row));
 }
 
 void CategoryLog::AppendBatch(const std::string& category,
                               std::vector<Row> rows) {
+  if (IsReservedCategory(category)) {
+    DropReserved(category, rows.size());
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Row>& log = logs_[category];
   log.reserve(log.size() + rows.size());
   for (Row& row : rows) log.push_back(std::move(row));
+}
+
+void CategoryLog::DropReserved(const std::string& category, size_t rows) {
+  obs::IncrCounter("scuba.ingest.reserved_category_drops", rows);
+  SCUBA_WARN << "dropping " << rows << " rows for reserved category '"
+             << category << "' (the __scuba namespace is self-stats only)";
 }
 
 size_t CategoryLog::Read(const std::string& category, uint64_t offset,

@@ -22,6 +22,13 @@ class CategoryLog {
   CategoryLog(const CategoryLog&) = delete;
   CategoryLog& operator=(const CategoryLog&) = delete;
 
+  /// True for categories under the reserved `__scuba` system-table
+  /// namespace. Appends to these are dropped (with a warning and the
+  /// scuba.ingest.reserved_category_drops counter): self-stats rows are
+  /// born inside the leaf, never transported through Scribe, so anything
+  /// arriving here under that name is a misconfigured producer.
+  static bool IsReservedCategory(const std::string& category);
+
   void Append(const std::string& category, Row row);
   void AppendBatch(const std::string& category, std::vector<Row> rows);
 
@@ -36,6 +43,8 @@ class CategoryLog {
   std::vector<std::string> Categories() const;
 
  private:
+  static void DropReserved(const std::string& category, size_t rows);
+
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::vector<Row>> logs_;
 };

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <sstream>
 
@@ -54,6 +55,39 @@ uint64_t Histogram::Snapshot::PercentileUpperBound(double p) const {
     }
   }
   return max;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Continuous rank in [0, count]: the quantile observation's position in
+  // the sorted sample. Walk the cumulative bucket counts to the bucket
+  // holding it, then interpolate by its position among that bucket's
+  // observations across the bucket's value range.
+  double target = p * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    uint64_t before = seen;
+    seen += buckets[i];
+    if (static_cast<double>(seen) < target) continue;
+    double value;
+    if (i == 0) {
+      value = 0.0;  // bucket 0 holds only the value 0
+    } else {
+      double lower = static_cast<double>(uint64_t{1} << (i - 1));
+      double width = lower;  // bucket i spans [2^(i-1), 2^i)
+      double frac = (target - static_cast<double>(before)) /
+                    static_cast<double>(buckets[i]);
+      value = lower + frac * width;
+    }
+    // The true quantile can never leave the observed value range.
+    value = std::max(value, static_cast<double>(min));
+    value = std::min(value, static_cast<double>(max));
+    return value;
+  }
+  return static_cast<double>(max);
 }
 
 void Histogram::Snapshot::Merge(const Snapshot& other) {
@@ -177,9 +211,9 @@ std::string MetricsRegistry::ToJson() const {
     os << "\": {\"count\": " << snap.count << ", \"sum\": " << snap.sum
        << ", \"min\": " << snap.min << ", \"max\": " << snap.max
        << ", \"mean\": " << snap.Mean()
-       << ", \"p50\": " << snap.PercentileUpperBound(0.50)
-       << ", \"p95\": " << snap.PercentileUpperBound(0.95)
-       << ", \"p99\": " << snap.PercentileUpperBound(0.99)
+       << ", \"p50\": " << snap.Percentile(0.50)
+       << ", \"p95\": " << snap.Percentile(0.95)
+       << ", \"p99\": " << snap.Percentile(0.99)
        << ", \"buckets\": [";
     bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -193,6 +227,22 @@ std::string MetricsRegistry::ToJson() const {
   }
   os << "}}";
   return os.str();
+}
+
+MetricsRegistry::RegistrySnapshot MetricsRegistry::TakeRegistrySnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->TakeSnapshot());
+  }
+  return snap;
 }
 
 void MetricsRegistry::ResetForTest() {

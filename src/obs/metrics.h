@@ -89,6 +89,16 @@ class Histogram {
     /// Bucket-resolution estimate (upper bound of the bucket holding the
     /// p-quantile observation), p in [0, 1].
     uint64_t PercentileUpperBound(double p) const;
+    /// Interpolated estimate of the p-quantile, p in [0, 1]: locates the
+    /// bucket holding the quantile observation and interpolates linearly
+    /// across the bucket's [2^(i-1), 2^i) value range by the quantile's
+    /// position among the bucket's observations, clamped to [min, max].
+    /// Error bound: the estimate always lies inside the true quantile's
+    /// log2 bucket, so it is within a factor of 2 of the exact quantile
+    /// (relative error < 100%); for values spread across a bucket it is
+    /// typically far tighter than PercentileUpperBound, which can be off
+    /// by the full bucket width.
+    double Percentile(double p) const;
     /// Pointwise accumulation; used to combine per-shard and per-registry
     /// snapshots.
     void Merge(const Snapshot& other);
@@ -120,6 +130,12 @@ class MetricsRegistry {
   /// The process-wide instance every subsystem records into.
   static MetricsRegistry& Global();
 
+  /// Constructible for injection (StatsExporterOptions::registry, tests);
+  /// production code records into Global().
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
@@ -130,8 +146,19 @@ class MetricsRegistry {
   ///    "histograms": {name: {"count":..,"sum":..,"min":..,"max":..,
   ///                          "mean":..,"p50":..,"p95":..,"p99":..,
   ///                          "buckets": [[lower_bound, count], ...]}, ...}}
-  /// Only non-zero histogram buckets are emitted.
+  /// Only non-zero histogram buckets are emitted. Percentiles are the
+  /// interpolated Percentile() estimates (restart-report schema v2).
   std::string ToJson() const;
+
+  /// Point-in-time copy of every metric, keys sorted — the raw material
+  /// for delta-based exporters (StatsExporter subtracts two of these).
+  /// Metrics are never removed, so successive snapshots only grow.
+  struct RegistrySnapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+  RegistrySnapshot TakeRegistrySnapshot() const;
 
   /// Zeroes every metric IN PLACE (handles stay valid). Benches and tests
   /// use this to scope a measurement; racing recorders just land in the
@@ -139,8 +166,6 @@ class MetricsRegistry {
   void ResetForTest();
 
  private:
-  MetricsRegistry() = default;
-
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

@@ -1,0 +1,211 @@
+#include "obs/stats_exporter.h"
+
+#include <chrono>
+#include <ctime>
+#include <utility>
+
+namespace scuba {
+namespace obs {
+namespace {
+
+int64_t SteadyMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Exporter's own bookkeeping (excluded from export — see the guard note
+/// in the class comment).
+struct ExporterMetrics {
+  Counter* cycles;
+  Counter* rows;
+  Counter* sink_failures;
+
+  static ExporterMetrics& Get() {
+    auto& reg = MetricsRegistry::Global();
+    static ExporterMetrics m{
+        reg.GetCounter("scuba.obs.stats_exporter.cycles"),
+        reg.GetCounter("scuba.obs.stats_exporter.rows_exported"),
+        reg.GetCounter("scuba.obs.stats_exporter.sink_failures")};
+    return m;
+  }
+};
+
+}  // namespace
+
+bool IsSystemTable(std::string_view table) {
+  return table.substr(0, kSystemTablePrefix.size()) == kSystemTablePrefix;
+}
+
+StatsExporter::StatsExporter(StatsExporterOptions options, Sink sink)
+    : options_(std::move(options)), sink_(std::move(sink)) {}
+
+StatsExporter::~StatsExporter() {
+  // Join without the final flush: during destruction the sink's target may
+  // already be gone. Orderly shutdown calls Stop() explicitly first.
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+MetricsRegistry& StatsExporter::registry() const {
+  return options_.registry != nullptr ? *options_.registry
+                                      : MetricsRegistry::Global();
+}
+
+int64_t StatsExporter::NowUnixSeconds() const {
+  if (options_.now_unix_seconds) return options_.now_unix_seconds();
+  return static_cast<int64_t>(std::time(nullptr));
+}
+
+bool StatsExporter::ExcludedFromExport(const std::string& name) {
+  return name.rfind("scuba.obs.stats_exporter.", 0) == 0;
+}
+
+void StatsExporter::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void StatsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final flush: whatever moved since the last tick still makes it into
+  // the table before the caller seals it for shutdown.
+  (void)ExportOnce();
+}
+
+void StatsExporter::ThreadMain() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stopping_) {
+    // Tick-then-export: the first export happens one period in, so a
+    // freshly started leaf's immediate post-recovery ExportOnce (done by
+    // the caller) is not duplicated.
+    if (cv_.wait_for(lock, std::chrono::milliseconds(options_.period_millis),
+                     [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    (void)ExportOnce();
+    lock.lock();
+  }
+}
+
+Status StatsExporter::ExportOnce() {
+  std::lock_guard<std::mutex> lock(export_mutex_);
+  ExporterMetrics& em = ExporterMetrics::Get();
+
+  MetricsRegistry::RegistrySnapshot snap = registry().TakeRegistrySnapshot();
+  int64_t now_millis = SteadyMillis();
+  double period_secs =
+      prev_stamp_millis_ == 0
+          ? 0.0
+          : static_cast<double>(now_millis - prev_stamp_millis_) / 1000.0;
+  int64_t now = NowUnixSeconds();
+  int64_t generation = static_cast<int64_t>(options_.generation);
+  int64_t leaf = static_cast<int64_t>(options_.leaf_id);
+
+  std::vector<Row> rows;
+  for (const auto& [name, value] : snap.counters) {
+    if (ExcludedFromExport(name)) continue;
+    auto it = prev_.counters.find(name);
+    uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+    if (value == before) continue;  // no movement, no row
+    uint64_t delta = value - before;
+    Row row;
+    row.SetTime(now)
+        .Set("metric", name)
+        .Set("kind", std::string("counter"))
+        .Set("generation", generation)
+        .Set("leaf", leaf)
+        .Set("value", static_cast<int64_t>(delta));
+    if (period_secs > 0) {
+      row.Set("rate", static_cast<double>(delta) / period_secs);
+    }
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (ExcludedFromExport(name)) continue;
+    auto it = prev_.gauges.find(name);
+    // Levels: a row on every change, plus one on first sight.
+    if (it != prev_.gauges.end() && it->second == value) continue;
+    Row row;
+    row.SetTime(now)
+        .Set("metric", name)
+        .Set("kind", std::string("gauge"))
+        .Set("generation", generation)
+        .Set("leaf", leaf)
+        .Set("value", static_cast<int64_t>(value));
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, hsnap] : snap.histograms) {
+    if (ExcludedFromExport(name)) continue;
+    auto it = prev_.histograms.find(name);
+    uint64_t count_before =
+        it == prev_.histograms.end() ? 0 : it->second.count;
+    uint64_t sum_before = it == prev_.histograms.end() ? 0 : it->second.sum;
+    if (hsnap.count == count_before) continue;
+    Row row;
+    // Deltas for volume; percentiles from the cumulative distribution
+    // (log2-bucket interpolation — see Histogram::Snapshot::Percentile).
+    row.SetTime(now)
+        .Set("metric", name)
+        .Set("kind", std::string("histogram"))
+        .Set("generation", generation)
+        .Set("leaf", leaf)
+        .Set("count", static_cast<int64_t>(hsnap.count - count_before))
+        .Set("sum", static_cast<int64_t>(hsnap.sum - sum_before))
+        .Set("p50", hsnap.Percentile(0.50))
+        .Set("p95", hsnap.Percentile(0.95))
+        .Set("p99", hsnap.Percentile(0.99));
+    rows.push_back(std::move(row));
+  }
+
+  prev_ = std::move(snap);
+  prev_stamp_millis_ = now_millis;
+
+  if (!rows.empty()) {
+    Status s = sink_(options_.table_name, rows);
+    if (!s.ok()) {
+      em.sink_failures->Add(1);
+      return s;
+    }
+    em.rows->Add(rows.size());
+  }
+  em.cycles->Add(1);
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status StatsExporter::ExportRestartEvent(std::string_view phase,
+                                         std::string_view detail,
+                                         int64_t duration_micros) {
+  Row row;
+  row.SetTime(NowUnixSeconds())
+      .Set("metric", std::string("scuba.server.restart"))
+      .Set("kind", std::string("restart"))
+      .Set("generation", static_cast<int64_t>(options_.generation))
+      .Set("leaf", static_cast<int64_t>(options_.leaf_id))
+      .Set("phase", std::string(phase))
+      .Set("detail", std::string(detail))
+      .Set("value", duration_micros);
+  Status s = sink_(options_.table_name, {row});
+  if (!s.ok()) {
+    ExporterMetrics::Get().sink_failures->Add(1);
+    return s;
+  }
+  ExporterMetrics::Get().rows->Add(1);
+  return s;
+}
+
+}  // namespace obs
+}  // namespace scuba

@@ -31,8 +31,23 @@ struct ServerMetrics {
   }
 };
 
-RestartConfig MakeRestartConfig(const LeafServerConfig& config) {
+std::optional<RestartHeartbeat> AttachHeartbeat(
+    const LeafServerConfig& config) {
+  if (!config.publish_restart_heartbeat) return std::nullopt;
+  auto hb = RestartHeartbeat::Attach(config.namespace_prefix, config.leaf_id);
+  if (!hb.ok()) {
+    SCUBA_WARN << "leaf " << config.leaf_id
+               << ": restart heartbeat unavailable: "
+               << hb.status().ToString();
+    return std::nullopt;
+  }
+  return std::move(hb).value();
+}
+
+RestartConfig MakeRestartConfig(const LeafServerConfig& config,
+                                RestartHeartbeat* heartbeat) {
   RestartConfig rc;
+  rc.heartbeat = heartbeat;
   rc.namespace_prefix = config.namespace_prefix;
   rc.leaf_id = config.leaf_id;
   rc.backup_dir = config.backup_dir;
@@ -55,7 +70,9 @@ RestartConfig MakeRestartConfig(const LeafServerConfig& config) {
 
 LeafServer::LeafServer(LeafServerConfig config)
     : config_(std::move(config)),
-      restart_manager_(MakeRestartConfig(config_)),
+      heartbeat_(AttachHeartbeat(config_)),
+      restart_manager_(MakeRestartConfig(
+          config_, heartbeat_.has_value() ? &*heartbeat_ : nullptr)),
       backup_writer_(config_.backup_dir),
       columnar_writer_(config_.backup_dir) {
   if (config_.num_query_threads > 1) {
@@ -65,6 +82,7 @@ LeafServer::LeafServer(LeafServerConfig config)
 
 void LeafServer::InstallSealObserver(Table* table) {
   if (!UsesColumnarBackup()) return;
+  if (obs::IsSystemTable(table->name())) return;
   std::string name = table->name();
   table->SetSealObserver([this, name](const RowBlock& block) {
     return columnar_writer_.OnBlockSealed(name, block);
@@ -89,57 +107,104 @@ Clock* LeafServer::clock() const {
 }
 
 StatusOr<RecoveryResult> LeafServer::Start() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (leaf_state_.state() != LeafState::kInit) {
-    return Status::FailedPrecondition("leaf server already started");
-  }
-  if (!config_.backup_dir.empty()) {
-    SCUBA_RETURN_IF_ERROR(UsesColumnarBackup() ? columnar_writer_.Init()
-                                               : backup_writer_.Init());
-  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (leaf_state_.state() != LeafState::kInit) {
+      return Status::FailedPrecondition("leaf server already started");
+    }
+    if (!config_.backup_dir.empty()) {
+      SCUBA_RETURN_IF_ERROR(UsesColumnarBackup() ? columnar_writer_.Init()
+                                                 : backup_writer_.Init());
+    }
 
-  // Fig 5b: INIT -> MEMORY_RECOVERY if enabled, else DISK_RECOVERY.
-  if (config_.memory_recovery_enabled) {
-    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kMemoryRecovery));
-  } else {
-    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kDiskRecovery));
-  }
+    // Fig 5b: INIT -> MEMORY_RECOVERY if enabled, else DISK_RECOVERY.
+    if (config_.memory_recovery_enabled) {
+      SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kMemoryRecovery));
+    } else {
+      SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kDiskRecovery));
+    }
 
-  SCUBA_ASSIGN_OR_RETURN(
-      last_recovery_,
-      restart_manager_.Recover(&leaf_map_, clock()->NowUnixSeconds()));
+    SCUBA_ASSIGN_OR_RETURN(
+        last_recovery_,
+        restart_manager_.Recover(&leaf_map_, clock()->NowUnixSeconds()));
 
-  // Exception edge: memory recovery attempted but the data came from disk.
-  if (leaf_state_.state() == LeafState::kMemoryRecovery &&
-      last_recovery_.source != RecoverySource::kSharedMemory) {
-    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kDiskRecovery));
-  }
-  SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kAlive));
+    // Exception edge: memory recovery attempted but the data came from disk.
+    if (leaf_state_.state() == LeafState::kMemoryRecovery &&
+        last_recovery_.source != RecoverySource::kSharedMemory) {
+      SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kDiskRecovery));
+    }
+    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kAlive));
 
-  // Table state machines mirror the leaf's recovery path (Fig 5d).
-  for (const std::string& name : leaf_map_.TableNames()) {
-    TableStateMachine& ts = table_states_[name];
-    Status s = ts.Transition(last_recovery_.source ==
-                                     RecoverySource::kSharedMemory
-                                 ? TableState::kMemoryRecovery
-                                 : TableState::kDiskRecovery);
-    if (s.ok()) s = ts.Transition(TableState::kAlive);
-    SCUBA_RETURN_IF_ERROR(s);
-    InstallSealObserver(leaf_map_.GetTable(name));
-  }
+    // Table state machines mirror the leaf's recovery path (Fig 5d).
+    for (const std::string& name : leaf_map_.TableNames()) {
+      TableStateMachine& ts = table_states_[name];
+      Status s = ts.Transition(last_recovery_.source ==
+                                       RecoverySource::kSharedMemory
+                                   ? TableState::kMemoryRecovery
+                                   : TableState::kDiskRecovery);
+      if (s.ok()) s = ts.Transition(TableState::kAlive);
+      SCUBA_RETURN_IF_ERROR(s);
+      InstallSealObserver(leaf_map_.GetTable(name));
+    }
 
-  SCUBA_INFO << "leaf " << config_.leaf_id << " alive ("
-             << RecoverySourceName(last_recovery_.source) << " recovery, "
-             << leaf_map_.TotalRowCount() << " rows)";
+    if (heartbeat_.has_value()) heartbeat_->SetPhase(RestartPhase::kAlive);
+    SCUBA_INFO << "leaf " << config_.leaf_id << " alive ("
+               << RecoverySourceName(last_recovery_.source) << " recovery, "
+               << leaf_map_.TotalRowCount() << " rows)";
+  }  // release mutex_: the exporter's sink inserts through it
+
+  if (config_.self_stats_enabled) StartSelfStats();
   return last_recovery_;
+}
+
+void LeafServer::StartSelfStats() {
+  obs::StatsExporterOptions opts;
+  opts.period_millis = config_.self_stats_period_millis;
+  opts.generation = heartbeat_generation();
+  opts.leaf_id = config_.leaf_id;
+  opts.now_unix_seconds = [this] { return clock()->NowUnixSeconds(); };
+  exporter_ = std::make_unique<obs::StatsExporter>(
+      std::move(opts),
+      [this](const std::string& table, const std::vector<Row>& rows) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return AddRowsLocked(table, rows, /*system=*/true);
+      });
+  // One restart-history row per process generation — this is what makes
+  // "how long did the last N restarts take, and from which source" a
+  // __scuba_stats query spanning generations — then an immediate export
+  // so the recovery metrics land before the first periodic tick.
+  int64_t recovery_micros =
+      last_recovery_.source == RecoverySource::kSharedMemory
+          ? last_recovery_.shm_stats.elapsed_micros.load()
+          : last_recovery_.disk_stats.read_micros +
+                last_recovery_.disk_stats.translate_micros +
+                last_recovery_.columnar_stats.read_micros +
+                last_recovery_.columnar_stats.translate_micros;
+  (void)exporter_->ExportRestartEvent(
+      RestartPhaseName(RestartPhase::kAlive),
+      RecoverySourceName(last_recovery_.source), recovery_micros);
+  (void)exporter_->ExportOnce();
+  exporter_->Start();
 }
 
 Status LeafServer::AddRows(const std::string& table,
                            const std::vector<Row>& rows) {
+  if (obs::IsSystemTable(table)) {
+    // Reserved namespace: only the leaf's own exporter writes here, via
+    // the system path below. Letting external ingest in would mix workload
+    // data into the self-stats (and bypass its no-backup rules).
+    return Status::InvalidArgument("table name '" + table +
+                                   "' is reserved for system tables");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  return AddRowsLocked(table, rows, /*system=*/false);
+}
+
+Status LeafServer::AddRowsLocked(const std::string& table,
+                                 const std::vector<Row>& rows, bool system) {
   ServerMetrics& metrics = ServerMetrics::Get();
   if (!leaf_state_.CanAcceptAdds()) {
-    metrics.adds_rejected->Add(1);
+    if (!system) metrics.adds_rejected->Add(1);
     return Status::Unavailable("leaf " + std::to_string(config_.leaf_id) +
                                " not accepting adds (state " +
                                std::string(LeafStateName(leaf_state_.state())) +
@@ -151,13 +216,16 @@ Status LeafServer::AddRows(const std::string& table,
     SCUBA_RETURN_IF_ERROR(it->second.Transition(TableState::kAlive));
   }
   if (!it->second.CanAcceptAdds()) {
-    metrics.adds_rejected->Add(1);
+    if (!system) metrics.adds_rejected->Add(1);
     return Status::Unavailable("table '" + table + "' not accepting adds");
   }
 
   // Backup first ("Scuba stores backups of all incoming data to disk",
-  // §4.1), then the in-memory store.
-  SCUBA_RETURN_IF_ERROR(BackupBatch(table, rows));
+  // §4.1), then the in-memory store. System tables skip the backup: their
+  // durability is the shm handoff, and their contents are regenerated by
+  // the next process anyway — a disk copy would only amplify every export
+  // into disk writes.
+  if (!system) SCUBA_RETURN_IF_ERROR(BackupBatch(table, rows));
   Table* t = leaf_map_.GetTable(table);
   if (t == nullptr) {
     SCUBA_ASSIGN_OR_RETURN(
@@ -170,13 +238,18 @@ Status LeafServer::AddRows(const std::string& table,
   // Columnar backup: a seal during this batch rotated the tail away,
   // taking the batch's unsealed suffix with it — re-seed the fresh tail
   // from the write buffer so blocks + tail always cover every row.
-  if (UsesColumnarBackup() && t->num_row_blocks() != blocks_before &&
-      !t->write_buffer().empty()) {
+  if (!system && UsesColumnarBackup() &&
+      t->num_row_blocks() != blocks_before && !t->write_buffer().empty()) {
     SCUBA_RETURN_IF_ERROR(columnar_writer_.AppendBatch(
         table, t->write_buffer().MaterializeRows()));
   }
-  metrics.add_batches->Add(1);
-  metrics.rows_added->Add(rows.size());
+  if (!system) {
+    // Self-amplification guard: the exporter's own inserts must not move
+    // the ingestion counters it is about to export, or every export cycle
+    // would manufacture the next cycle's rows.
+    metrics.add_batches->Add(1);
+    metrics.rows_added->Add(rows.size());
+  }
   return Status::OK();
 }
 
@@ -233,12 +306,24 @@ size_t LeafServer::ExpireData() {
 
 Status LeafServer::ShutdownToSharedMemory(ShutdownStats* stats,
                                           FootprintTracker* tracker) {
+  // Self-stats wind-down happens BEFORE taking mutex_: the exporter's sink
+  // inserts through it, so stopping under the lock would deadlock. One
+  // restart-history row marks the shutdown, then the final flush captures
+  // every delta since the last tick — all of it rides to the successor in
+  // the shm copy below.
+  if (exporter_ != nullptr) {
+    (void)exporter_->ExportRestartEvent(
+        RestartPhaseName(RestartPhase::kPrepare), "shutdown", 0);
+    exporter_->Stop();
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
   int64_t now = clock()->NowUnixSeconds();
 
   // Fig 5a: ALIVE -> COPY_TO_SHM. The mutex we hold IS the drain: no add,
   // query, or delete can be in flight past this point.
   SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kCopyToShm));
+  if (heartbeat_.has_value()) heartbeat_->SetPhase(RestartPhase::kPrepare);
 
   // Fig 5c per-table PREPARE: reject new work (done via state), finish
   // in-flight work (mutex), seal buffers, flush data to disk.
@@ -259,7 +344,9 @@ Status LeafServer::ShutdownToSharedMemory(ShutdownStats* stats,
 
   // Failure injection (§4.3 watchdog): the process is "killed" mid-copy.
   // Any partial segments have valid=false and are scrubbed; the backups
-  // flushed above are the successor's only source.
+  // flushed above are the successor's only source. The heartbeat is
+  // deliberately NOT advanced here — a killed process writes nothing, and
+  // that silence is exactly what a stall monitor should observe.
   if (inject_shutdown_kill_) {
     inject_shutdown_kill_ = false;
     restart_manager_.ScrubSharedMemory();
@@ -272,18 +359,38 @@ Status LeafServer::ShutdownToSharedMemory(ShutdownStats* stats,
   // Fig 6: the chunked copy itself.
   RestartConfig rc = restart_manager_.config();
   rc.shutdown.now = now;
+  rc.shutdown.cancel = &shutdown_cancel_;
+  rc.shutdown.after_block_copied = shutdown_block_hook_;
   RestartManager manager(rc);
-  SCUBA_RETURN_IF_ERROR(manager.Shutdown(&leaf_map_, stats, tracker));
+  Status s = manager.Shutdown(&leaf_map_, stats, tracker);
+  if (s.IsAborted()) {
+    // Cooperative watchdog kill: the copy stopped at a block boundary with
+    // the valid bit still false. Same aftermath as the injected kill —
+    // scrub partial segments, drop state, exit; the successor
+    // disk-recovers from the backups flushed above.
+    if (heartbeat_.has_value()) heartbeat_->SetPhase(RestartPhase::kFailed);
+    restart_manager_.ScrubSharedMemory();
+    leaf_map_.Clear();
+    table_states_.clear();
+    SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kExit));
+    return s;
+  }
+  SCUBA_RETURN_IF_ERROR(s);
 
   for (auto& [name, ts] : table_states_) {
     if (ts.state() == TableState::kCopyToShm) {
       SCUBA_RETURN_IF_ERROR(ts.Transition(TableState::kDone));
     }
   }
-  return leaf_state_.Transition(LeafState::kExit);
+  SCUBA_RETURN_IF_ERROR(leaf_state_.Transition(LeafState::kExit));
+  if (heartbeat_.has_value()) heartbeat_->SetPhase(RestartPhase::kExited);
+  return Status::OK();
 }
 
 void LeafServer::Crash() {
+  // Join the exporter thread first (its sink takes mutex_; no final flush —
+  // a crash preserves nothing).
+  exporter_.reset();
   std::lock_guard<std::mutex> lock(mutex_);
   leaf_map_.Clear();
   table_states_.clear();

@@ -1,8 +1,11 @@
 #ifndef SCUBA_SERVER_LEAF_SERVER_H_
 #define SCUBA_SERVER_LEAF_SERVER_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,7 +15,9 @@
 #include "core/restart_manager.h"
 #include "core/state_machine.h"
 #include "disk/backup_writer.h"
+#include "obs/stats_exporter.h"
 #include "query/executor.h"
+#include "shm/restart_heartbeat.h"
 #include "util/clock.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -55,6 +60,21 @@ struct LeafServerConfig {
   /// pool whose size stays fixed for the server's lifetime. Results are
   /// identical for every setting.
   size_t num_query_threads = 1;
+  /// Publish restart progress through the fixed-name shm heartbeat block
+  /// (/<prefix>_hb_<id>): phase, bytes copied/total, liveness stamp. The
+  /// block survives this process, so rollover monitors and dashboards can
+  /// watch the restart from outside (§4.3 made observable). Attach failure
+  /// logs a warning and runs without a heartbeat.
+  bool publish_restart_heartbeat = true;
+  /// Self-monitoring ("Scuba monitors Scuba"): run a StatsExporter that
+  /// periodically collapses the process MetricsRegistry into rows of the
+  /// reserved `__scuba_stats` table on this leaf — compressed, queryable
+  /// through the normal leaf/aggregator path, and carried across restarts
+  /// by the shm handoff. Also writes one restart-history row per process
+  /// generation (recovery source + duration) and one when shutdown begins.
+  bool self_stats_enabled = false;
+  /// Export period for the self-stats background thread.
+  int64_t self_stats_period_millis = 1000;
   /// Time source (simulated in tests; real otherwise).
   Clock* clock = nullptr;
 };
@@ -87,6 +107,8 @@ class LeafServer {
 
   /// Appends rows to a table: backs them up to disk, then inserts into the
   /// in-memory store. Unavailable unless the state accepts adds.
+  /// InvalidArgument for reserved `__scuba*` system-table names — only the
+  /// leaf's own exporter writes those.
   Status AddRows(const std::string& table, const std::vector<Row>& rows);
 
   /// Executes a query. Unavailable unless the state accepts queries.
@@ -117,6 +139,35 @@ class LeafServer {
   /// after 3 minutes", §4.3): partial segments are scrubbed, no valid bit
   /// is set, and Aborted is returned. The successor must disk-recover.
   void InjectShutdownKillForTest() { inject_shutdown_kill_ = true; }
+
+  /// Asks an in-flight ShutdownToSharedMemory to stop at the next
+  /// row-block boundary — the phase-aware watchdog's targeted kill, issued
+  /// by a monitor whose heartbeat samples stopped advancing. Lock-free and
+  /// safe to call from any thread, INCLUDING while the shutdown holds the
+  /// server mutex (that is the whole point). The cancelled shutdown scrubs
+  /// its partial segments, leaves the valid bit false, and returns Aborted;
+  /// the successor recovers from disk.
+  void RequestShutdownCancel() {
+    shutdown_cancel_.store(true, std::memory_order_release);
+  }
+
+  /// Installs a hook invoked after every row-block copy during shutdown
+  /// (from whichever copy thread performed it). Fault injection uses it to
+  /// freeze the copy loop and exercise heartbeat stall detection. Must be
+  /// set before ShutdownToSharedMemory is called.
+  void SetShutdownBlockHookForTest(std::function<void()> hook) {
+    shutdown_block_hook_ = std::move(hook);
+  }
+
+  /// The heartbeat generation this process attached as, or 0 when the
+  /// heartbeat is disabled/unavailable.
+  uint64_t heartbeat_generation() const {
+    return heartbeat_.has_value() ? heartbeat_->generation() : 0;
+  }
+
+  /// The self-stats exporter, or nullptr when self_stats_enabled is false
+  /// or the server has not started. Tests use it to force export cycles.
+  obs::StatsExporter* stats_exporter() { return exporter_.get(); }
 
   // --- introspection --------------------------------------------------------
 
@@ -167,12 +218,30 @@ class LeafServer {
     return config_.backup_format == BackupFormatKind::kColumnar &&
            !config_.backup_dir.empty();
   }
-  /// Installs the columnar backup's seal observer on `table`.
+  /// Installs the columnar backup's seal observer on `table` (no-op for
+  /// system tables, which are never backed up to disk).
   void InstallSealObserver(Table* table);
   Status BackupBatch(const std::string& table, const std::vector<Row>& rows);
   Status SyncBackups();
+  /// Shared insert body; callers hold mutex_. `system` marks the leaf's
+  /// own `__scuba*` writes: no disk backup, and no ingestion-metric
+  /// updates (the self-amplification guard — exporting must not feed the
+  /// metrics it exports).
+  Status AddRowsLocked(const std::string& table, const std::vector<Row>& rows,
+                       bool system);
+  /// Creates + starts the self-stats exporter (after recovery; not under
+  /// mutex_): one restart-history row, an immediate export of the recovery
+  /// metrics, then the periodic thread.
+  void StartSelfStats();
 
   LeafServerConfig config_;
+  /// Declared before restart_manager_: the manager's config captures a
+  /// pointer to this block, so it must be attached first (and must outlive
+  /// the manager). Engaged only when config_.publish_restart_heartbeat and
+  /// the shm attach succeeded.
+  std::optional<RestartHeartbeat> heartbeat_;
+  std::atomic<bool> shutdown_cancel_{false};
+  std::function<void()> shutdown_block_hook_;
   RestartManager restart_manager_;
   /// Scan workers shared by every query on this leaf (null when
   /// num_query_threads <= 1). Created once; queries run one at a time
@@ -187,6 +256,10 @@ class LeafServer {
   ColumnarBackupWriter columnar_writer_;    // columnar format (§6)
   RecoveryResult last_recovery_;
   bool inject_shutdown_kill_ = false;
+  /// Declared last so it is destroyed FIRST: the exporter thread's sink
+  /// takes mutex_ and touches leaf_map_, so it must join before any of
+  /// them go away.
+  std::unique_ptr<obs::StatsExporter> exporter_;
 };
 
 }  // namespace scuba

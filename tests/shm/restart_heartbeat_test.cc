@@ -1,0 +1,183 @@
+#include "shm/restart_heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "shm/shm_segment.h"
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::ShmNamespace;
+
+TEST(RestartHeartbeatTest, AttachPublishReadRoundtrip) {
+  ShmNamespace ns("hb_rt");
+  auto hb = RestartHeartbeat::Attach(ns.prefix(), 1);
+  ASSERT_TRUE(hb.ok()) << hb.status().ToString();
+  EXPECT_EQ(hb->generation(), 1u);
+
+  hb->SetBytesTotal(1000);
+  hb->SetPhase(RestartPhase::kCopyOut);
+  hb->AddBytesCopied(250);
+
+  auto reading = RestartHeartbeat::ReadOnce(ns.prefix(), 1);
+  ASSERT_TRUE(reading.ok()) << reading.status().ToString();
+  EXPECT_EQ(reading->generation, 1u);
+  EXPECT_EQ(reading->phase, RestartPhase::kCopyOut);
+  EXPECT_EQ(reading->bytes_copied, 250u);
+  EXPECT_EQ(reading->bytes_total, 1000u);
+  EXPECT_DOUBLE_EQ(reading->Progress(), 0.25);
+  EXPECT_GT(reading->stamp_micros, 0);
+}
+
+TEST(RestartHeartbeatTest, ReadWithoutBlockIsNotFound) {
+  ShmNamespace ns("hb_none");
+  auto reading = RestartHeartbeat::ReadOnce(ns.prefix(), 9);
+  EXPECT_TRUE(reading.status().IsNotFound());
+}
+
+TEST(RestartHeartbeatTest, GenerationContinuesAcrossAttaches) {
+  ShmNamespace ns("hb_gen");
+  {
+    auto hb = RestartHeartbeat::Attach(ns.prefix(), 2);
+    ASSERT_TRUE(hb.ok());
+    EXPECT_EQ(hb->generation(), 1u);
+    hb->SetPhase(RestartPhase::kExited);
+  }
+  // A monitor that mapped the block while watching the predecessor keeps
+  // seeing the successor through the same mapping (reinit is in place).
+  auto monitor = RestartHeartbeat::OpenForRead(ns.prefix(), 2);
+  ASSERT_TRUE(monitor.ok());
+
+  auto hb2 = RestartHeartbeat::Attach(ns.prefix(), 2);
+  ASSERT_TRUE(hb2.ok());
+  EXPECT_EQ(hb2->generation(), 2u);
+
+  auto reading = monitor->Read();
+  ASSERT_TRUE(reading.ok()) << reading.status().ToString();
+  EXPECT_EQ(reading->generation, 2u);
+  EXPECT_EQ(reading->phase, RestartPhase::kIdle);  // fresh generation
+}
+
+TEST(RestartHeartbeatTest, StaleGarbageFromCrashedPredecessorIsIgnored) {
+  ShmNamespace ns("hb_stale");
+  {
+    auto hb = RestartHeartbeat::Attach(ns.prefix(), 3);
+    ASSERT_TRUE(hb.ok());
+    hb->SetPhase(RestartPhase::kCopyOut);
+  }
+  // Simulate the garbage a crashed predecessor (or a foreign layout)
+  // leaves behind: flip bytes in the slow fields without resealing.
+  {
+    auto seg = ShmSegment::Open(
+        RestartHeartbeat::SegmentNameForLeaf(ns.prefix(), 3));
+    ASSERT_TRUE(seg.ok());
+    uint64_t junk = 0xdeadbeefdeadbeefull;
+    std::memcpy(seg->data() + 8, &junk, sizeof(junk));   // generation slot
+    std::memcpy(seg->data() + 16, &junk, sizeof(junk));  // phase slot
+  }
+  // Readers reject the block (checksum no longer covers the slow fields).
+  auto reading = RestartHeartbeat::ReadOnce(ns.prefix(), 3);
+  EXPECT_TRUE(reading.status().IsUnavailable())
+      << reading.status().ToString();
+
+  // A writer attaching over the garbage restarts the generation sequence
+  // at 1 instead of continuing from the junk value.
+  auto hb = RestartHeartbeat::Attach(ns.prefix(), 3);
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(hb->generation(), 1u);
+  auto fresh = RestartHeartbeat::ReadOnce(ns.prefix(), 3);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->generation, 1u);
+}
+
+TEST(RestartHeartbeatTest, BytesCopiedIsMonotoneWithinGeneration) {
+  ShmNamespace ns("hb_mono");
+  auto hb = RestartHeartbeat::Attach(ns.prefix(), 4);
+  ASSERT_TRUE(hb.ok());
+  hb->SetBytesTotal(64 * 100);
+
+  auto reader = RestartHeartbeat::OpenForRead(ns.prefix(), 4);
+  ASSERT_TRUE(reader.ok());
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    hb->AddBytesCopied(64);
+    auto reading = reader->Read();
+    ASSERT_TRUE(reading.ok());
+    EXPECT_GE(reading->bytes_copied, last);
+    last = reading->bytes_copied;
+  }
+  EXPECT_EQ(last, 64u * 100u);
+}
+
+TEST(RestartHeartbeatTest, AdvancedOverDetectsProgressAndSilence) {
+  ShmNamespace ns("hb_adv");
+  auto hb = RestartHeartbeat::Attach(ns.prefix(), 5);
+  ASSERT_TRUE(hb.ok());
+  auto reader = RestartHeartbeat::OpenForRead(ns.prefix(), 5);
+  ASSERT_TRUE(reader.ok());
+
+  auto r1 = reader->Read();
+  ASSERT_TRUE(r1.ok());
+  // Silence: a re-read with no writer activity shows no advance.
+  auto r2 = reader->Read();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->AdvancedOver(*r1));
+  // Any write (bytes here) advances the sample.
+  hb->AddBytesCopied(1);
+  auto r3 = reader->Read();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->AdvancedOver(*r1));
+}
+
+// TSan leg: the multi-writer discipline the copy engine uses — one
+// orchestrator on the slow fields, many copy workers on bytes/stamp, one
+// external monitor polling — must be clean.
+TEST(RestartHeartbeatTest, ConcurrentWritersAndReader) {
+  ShmNamespace ns("hb_tsan");
+  auto hb = RestartHeartbeat::Attach(ns.prefix(), 6);
+  ASSERT_TRUE(hb.ok());
+  hb->SetBytesTotal(2 * 1000 * 8);
+
+  std::atomic<bool> stop{false};
+  std::thread reader_thread([&] {
+    auto reader = RestartHeartbeat::OpenForRead(ns.prefix(), 6);
+    ASSERT_TRUE(reader.ok());
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      auto reading = reader->Read();
+      // A racing slow-field write may yield a transient Unavailable;
+      // monotonicity must hold across every valid sample.
+      if (reading.ok()) {
+        EXPECT_GE(reading->bytes_copied, last);
+        last = reading->bytes_copied;
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) hb->AddBytesCopied(8);
+    });
+  }
+  // The orchestrator flips phases while workers stream bytes.
+  hb->SetPhase(RestartPhase::kCopyOut);
+  for (auto& w : workers) w.join();
+  hb->SetPhase(RestartPhase::kSetValid);
+  stop.store(true, std::memory_order_release);
+  reader_thread.join();
+
+  auto final_reading = RestartHeartbeat::ReadOnce(ns.prefix(), 6);
+  ASSERT_TRUE(final_reading.ok());
+  EXPECT_EQ(final_reading->bytes_copied, 2u * 1000u * 8u);
+  EXPECT_EQ(final_reading->phase, RestartPhase::kSetValid);
+}
+
+}  // namespace
+}  // namespace scuba
