@@ -10,6 +10,11 @@
 //   C. Zone-map pruning: a selective int64 predicate whose blocks are
 //      skipped from the v2 footer min/max without decoding (the scalar
 //      engine scans everything; the vectorized one reports blocks_pruned).
+//   D. Observability overhead (E15): the heaviest query unsampled (null
+//      tracer — what every production query pays for the always-on
+//      QueryProfile) vs trace-sampled (PhaseTracer attached, spans per
+//      block); emits the overhead percentage, the sampled profile, and
+//      the span timeline.
 //
 // Thread speedups are hardware-dependent: on a single-core host the pool
 // serializes and shows ~1x; expect the multi-thread gains on real cores.
@@ -29,7 +34,9 @@
 #include "core/restart_manager.h"
 #include "ingest/row_generator.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/executor.h"
+#include "query/query_context.h"
 #include "util/thread_pool.h"
 
 namespace scuba {
@@ -138,6 +145,7 @@ void Emit(JsonWriter* json, const std::string& section,
   json->Field("blocks_scanned", t.result.blocks_scanned);
   json->Field("blocks_pruned", t.result.blocks_pruned);
   json->Field("groups", static_cast<uint64_t>(t.result.num_groups()));
+  json->RawField("profile", t.result.profile().ToJson());
 }
 
 int Run(const std::string& json_path, bool smoke) {
@@ -306,6 +314,55 @@ int Run(const std::string& json_path, bool smoke) {
                    100.0 * pruned_frac);
       return 1;
     }
+  }
+
+  // --- D: observability overhead (E15) -------------------------------------
+  // The heaviest query from section A, run unsampled (null tracer: the
+  // always-on QueryProfile is the only cost) vs trace-sampled (PhaseTracer
+  // attached, one span + two synthesized children per block). Sampling is
+  // 1-in-N in production, so the sampled cost is paid by ~none of the
+  // fleet's queries; the unsampled number is the one the ≤2% E15 budget
+  // applies to, against the pre-instrumentation E13 baseline.
+  {
+    Query q;
+    q.table = "service_logs";
+    q.group_by = {"service"};
+    q.aggregates = {Count(), Avg("latency_ms")};
+
+    Timing unsampled = TimeVectorized(*table, q, nullptr);
+    std::unique_ptr<obs::PhaseTracer> tracer;
+    Timing sampled = Time([&] {
+      tracer = std::make_unique<obs::PhaseTracer>();
+      QueryContext ctx;
+      ctx.query_id = NextQueryId();
+      ctx.sampled = true;
+      ctx.tracer = tracer.get();
+      LeafExecutor::ExecOptions options;
+      options.ctx = &ctx;
+      auto result = LeafExecutor::Execute(*table, q, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "sampled: %s\n",
+                     result.status().ToString().c_str());
+        std::abort();
+      }
+      return *std::move(result);
+    });
+    double overhead_pct =
+        unsampled.millis > 0
+            ? 100.0 * (sampled.millis - unsampled.millis) / unsampled.millis
+            : 0.0;
+    std::printf("\n-- D: observability overhead (group_by, 1 thread) --\n");
+    std::printf("unsampled (profile only): %.3f ms\n", unsampled.millis);
+    std::printf("sampled (span timeline):  %.3f ms  (%+.1f%%)\n",
+                sampled.millis, overhead_pct);
+    std::printf("%s\n", sampled.result.profile().ToText().c_str());
+    Emit(&json, "observability_overhead", "group_by_service_avg_latency",
+         "vectorized_unsampled", 1, unsampled, 1.0);
+    Emit(&json, "observability_overhead", "group_by_service_avg_latency",
+         "vectorized_sampled", 1, sampled, 1.0);
+    json.Field("sampling_overhead_pct", overhead_pct);
+    json.Section("profile", sampled.result.profile().ToJson());
+    json.Section("trace", tracer->ToJson());
   }
 
   if (!json_path.empty()) {

@@ -132,6 +132,13 @@ class JsonWriter {
     Append(key, value ? "true" : "false");
   }
 
+  /// Attaches a pre-encoded JSON value as a field of the current row
+  /// (e.g. a QueryProfile::ToJson() object); `raw_json` must be valid
+  /// JSON.
+  void RawField(const std::string& key, std::string raw_json) {
+    Append(key, std::move(raw_json));
+  }
+
   /// Attaches a pre-encoded JSON value as a top-level section; `raw_json`
   /// must be valid JSON (e.g. MetricsRegistry::ToJson() or
   /// PhaseTracer::ToJson()). A repeated key replaces the earlier value.

@@ -28,11 +28,20 @@ trap 'rm -rf "${SMOKE_DIR}"' EXIT
 python3 - "${SMOKE_DIR}/shutdown_restore.json" "${SMOKE_DIR}/query.json" \
   <<'PYEOF'
 import json, sys
+
+PROFILE_KEYS = {
+    "query_id", "wall_micros", "blocks_scanned", "blocks_time_pruned",
+    "blocks_zone_pruned", "rows_scanned", "rows_matched", "bytes_decoded",
+    "leaves_total", "leaves_responded", "unavailable_leaves", "prune_micros",
+    "decode_micros", "kernel_micros", "merge_micros", "leaf_execute_micros",
+    "fanout_queue_wait_micros",
+}
+
 for path in sys.argv[1:]:
     with open(path) as f:
         doc = json.load(f)
     assert doc.get("results"), f"{path}: empty results"
-    assert doc.get("schema_version") == 2, \
+    assert doc.get("schema_version") == 3, \
         f"{path}: missing/unexpected schema_version: {doc.get('schema_version')!r}"
     metrics = doc.get("metrics")
     assert isinstance(metrics, dict), f"{path}: missing metrics block"
@@ -40,6 +49,26 @@ for path in sys.argv[1:]:
         assert key in metrics, f"{path}: metrics missing '{key}'"
     print(f"{path}: OK ({len(doc['results'])} results, "
           f"{len(metrics['counters'])} counters)")
+
+# Schema v3: bench_query rows embed a complete QueryProfile each, plus a
+# top-level profile + sampled span timeline for the observability leg.
+with open(sys.argv[2]) as f:
+    query = json.load(f)
+for row in query["results"]:
+    profile = row.get("profile")
+    assert isinstance(profile, dict), f"row {row.get('case')}: no profile"
+    missing = PROFILE_KEYS - profile.keys()
+    assert not missing, f"row {row.get('case')}: profile missing {missing}"
+assert PROFILE_KEYS <= query.get("profile", {}).keys(), \
+    "top-level profile incomplete"
+trace = query.get("trace")
+assert isinstance(trace, dict) and trace.get("spans"), \
+    "missing sampled-query trace section"
+span_names = {s.get("name") for s in trace["spans"]}
+for name in ("prune", "decode", "kernel"):
+    assert name in span_names, f"trace missing '{name}' span: {span_names}"
+print(f"{sys.argv[2]}: profile schema OK "
+      f"({len(query['results'])} rows, {len(trace['spans'])} spans)")
 PYEOF
 
 echo
@@ -48,13 +77,18 @@ cmake --build build-release -j "${JOBS}" --target selfstats_rollover
 ./build-release/examples/selfstats_rollover
 
 echo
+echo "=== Slow-query-log smoke: a slow query's __scuba_queries row survives a rollover ==="
+cmake --build build-release -j "${JOBS}" --target slow_query_log
+./build-release/examples/slow_query_log
+
+echo
 echo "=== TSan build + core/shm/util/query/obs suites ==="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCUBA_TSAN=ON \
   >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
   --target util_test shm_test core_test query_test server_test obs_test
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator|ObsMetrics|ObsTracer|RestartTrace|RestartHeartbeat|StatsExporter|SelfStats'
+  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator|ObsMetrics|ObsTracer|RestartTrace|RestartHeartbeat|StatsExporter|SelfStats|QueryTrace|SlowQueryLog|ProfileDeterminism'
 
 echo
 echo "=== OK ==="

@@ -1,0 +1,139 @@
+// The self-hosted slow-query log, end to end: a deliberately slow query
+// lands as a row in the reserved __scuba_queries table, that row is
+// queryable back through the same aggregator that ran the query — and
+// because the table rides the shared-memory handoff, it is still there
+// after a rolling restart of the whole cluster. This demo (and CI smoke)
+// proves the loop:
+//
+//   1. start a mini-cluster with self-stats on and a 1 ms slow threshold,
+//   2. run a heavyweight group-by over enough rows to cross the threshold,
+//   3. query __scuba_queries through the aggregator: the slow row is
+//      there, with the query's fingerprint and profile counters,
+//   4. roll the cluster through shared memory,
+//   5. query again: the slow-query row survived the rollover.
+//
+// Exits non-zero if any step fails — ci/check.sh runs it as the
+// slow-query-log smoke leg.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/dashboard.h"
+#include "ingest/row_generator.h"
+#include "obs/stats_exporter.h"
+
+namespace scuba {
+namespace {
+
+double CountSlowRows(Aggregator& aggregator, const std::string& fingerprint) {
+  Query q;
+  q.table = obs::kQueriesTableName;
+  q.predicates.push_back(
+      {"kind", CompareOp::kEq, Value(std::string("slow"))});
+  q.predicates.push_back({"fingerprint", CompareOp::kEq, Value(fingerprint)});
+  q.aggregates = {Count()};
+  auto result = aggregator.Execute(q);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return -1;
+  }
+  auto rows = result->Finalize({Count()});
+  return rows.empty() ? 0.0 : rows[0].aggregates[0];
+}
+
+int Run() {
+  ClusterConfig config;
+  config.num_machines = 1;
+  config.leaves_per_machine = 2;
+  config.namespace_prefix = "scuba_slowlog_demo_" + std::to_string(getpid());
+  config.backup_root = "/tmp/" + config.namespace_prefix;
+  config.self_stats_enabled = true;
+  // Anything over 1 ms is "slow" — the group-by below comfortably is.
+  config.slow_query_log_threshold_micros = 1000;
+
+  Cluster cluster(config);
+  if (!cluster.Start().ok()) return 1;
+
+  RowGenerator gen;
+  cluster.log().AppendBatch("requests", gen.NextBatch(60000));
+  cluster.AddTailer("requests");
+  auto pumped = cluster.PumpTailers(true);
+  if (!pumped.ok() || *pumped != 60000) return 1;
+
+  // The deliberately slow query: full-table group-by with a percentile.
+  Query heavy;
+  heavy.table = "requests";
+  heavy.group_by = {"service"};
+  heavy.aggregates = {Count(), Avg("latency_ms"), P99("latency_ms")};
+  auto result = cluster.aggregator().Execute(heavy);
+  if (!result.ok()) {
+    std::fprintf(stderr, "heavy query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("heavy query profile:\n%s\n",
+              result->profile().ToText().c_str());
+  if (result->profile().wall_micros < 1000) {
+    std::fprintf(stderr, "FAIL: heavy query finished under the threshold "
+                 "(%lld us); smoke cannot prove the log\n",
+                 static_cast<long long>(result->profile().wall_micros));
+    return 1;
+  }
+
+  const std::string fingerprint = heavy.Fingerprint();
+  double before = CountSlowRows(cluster.aggregator(), fingerprint);
+  std::printf("slow-query rows in __scuba_queries before rollover: %.0f\n",
+              before);
+  if (before <= 0) {
+    std::fprintf(stderr, "FAIL: slow query was not logged\n");
+    return 1;
+  }
+
+  RealRolloverOptions options;
+  options.batch_fraction = 0.5;
+  auto report = cluster.Rollover(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "rollover failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  if (report->shm_recoveries != cluster.num_leaves()) {
+    std::fprintf(stderr, "FAIL: expected every leaf to recover via shm\n");
+    return 1;
+  }
+
+  double after = CountSlowRows(cluster.aggregator(), fingerprint);
+  std::printf("slow-query rows in __scuba_queries after rollover:  %.0f\n",
+              after);
+  if (after < before) {
+    std::fprintf(stderr,
+                 "FAIL: slow-query log lost rows in the rollover "
+                 "(before=%.0f after=%.0f)\n",
+                 before, after);
+    return 1;
+  }
+
+  // The dashboard's query panel sees the slow query too.
+  Dashboard::QueryPanelStats panel =
+      Dashboard::CollectQueryPanel(cluster.aggregator(), 0.0);
+  std::printf("\nquery panel:\n%s\n",
+              Dashboard::RenderQueryPanel(panel).c_str());
+  if (panel.slowest_query_id == 0) {
+    std::fprintf(stderr, "FAIL: query panel never saw the slow query\n");
+    return 1;
+  }
+
+  std::printf("OK: the slow query's log row survived the rollover and is "
+              "queryable through the aggregator.\n");
+  cluster.Cleanup();
+  return 0;
+}
+
+}  // namespace
+}  // namespace scuba
+
+int main() { return scuba::Run(); }

@@ -24,6 +24,9 @@ Cluster::Cluster(ClusterConfig config)
         std::make_unique<LeafServer>(MakeLeafConfig(static_cast<uint32_t>(i))));
   }
   aggregator_.SetLeaves(LeafPointers());
+  aggregator_.SetTraceSampling(config_.trace_sample_every_n);
+  aggregator_.SetSlowQueryLog(config_.slow_query_log_threshold_micros,
+                              config_.slow_query_sample_every_n);
 }
 
 Cluster::~Cluster() = default;

@@ -36,6 +36,15 @@ struct ClusterConfig {
   /// reserved `__scuba_stats` table ("Scuba monitors Scuba").
   bool self_stats_enabled = false;
   int64_t self_stats_period_millis = 1000;
+  /// Aggregator query observability: trace-sample every Nth non-system
+  /// query into a span timeline (0 = off).
+  uint64_t trace_sample_every_n = 0;
+  /// Slow-query log: a non-system query slower than this gets a row in
+  /// `__scuba_queries` via a leaf's StatsExporter (0 = off). Needs
+  /// self_stats_enabled (the exporter is the log's writer).
+  int64_t slow_query_log_threshold_micros = 0;
+  /// Also log every Nth non-system query regardless of latency (0 = off).
+  uint64_t slow_query_sample_every_n = 0;
   Clock* clock = nullptr;
   uint64_t seed = 11;
 };

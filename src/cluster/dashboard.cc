@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace scuba {
 
 std::string Dashboard::RenderSample(const DashboardSample& sample,
@@ -85,6 +87,51 @@ std::string Dashboard::RenderDetailed(
     out += RenderDetailedSample(timeline.back(), bar_width);
     out += '\n';
   }
+  return out;
+}
+
+Dashboard::QueryPanelStats Dashboard::CollectQueryPanel(
+    const Aggregator& aggregator, double window_seconds) {
+  QueryPanelStats stats;
+  Aggregator::QueryPanelData panel = aggregator.SampleQueryPanel();
+  stats.queries = panel.queries;
+  stats.slowest_query_id = panel.slowest_query_id;
+  stats.slowest_latency_micros = panel.slowest_latency_micros;
+  stats.slowest_fingerprint = panel.slowest_fingerprint;
+  if (window_seconds > 0.0) {
+    stats.qps = static_cast<double>(panel.queries) / window_seconds;
+  }
+  obs::Histogram::Snapshot latency =
+      obs::MetricsRegistry::Global()
+          .GetHistogram("scuba.server.aggregator.query_latency_micros")
+          ->TakeSnapshot();
+  stats.p50_micros = latency.Percentile(0.50);
+  stats.p95_micros = latency.Percentile(0.95);
+  stats.p99_micros = latency.Percentile(0.99);
+  return stats;
+}
+
+std::string Dashboard::RenderQueryPanel(const QueryPanelStats& stats) {
+  char line1[160];
+  std::snprintf(line1, sizeof(line1),
+                "queries: %llu (%.1f/s)  p50 %.1f ms  p95 %.1f ms  "
+                "p99 %.1f ms",
+                static_cast<unsigned long long>(stats.queries), stats.qps,
+                stats.p50_micros / 1000.0, stats.p95_micros / 1000.0,
+                stats.p99_micros / 1000.0);
+  std::string out = line1;
+  out += '\n';
+  if (stats.slowest_query_id != 0) {
+    char line2[192];
+    std::snprintf(line2, sizeof(line2), "slowest: query %llu  %.1f ms  %s",
+                  static_cast<unsigned long long>(stats.slowest_query_id),
+                  static_cast<double>(stats.slowest_latency_micros) / 1000.0,
+                  stats.slowest_fingerprint.c_str());
+    out += line2;
+  } else {
+    out += "slowest: (none)";
+  }
+  out += '\n';
   return out;
 }
 

@@ -1,10 +1,12 @@
 #ifndef SCUBA_CLUSTER_DASHBOARD_H_
 #define SCUBA_CLUSTER_DASHBOARD_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cluster/rollover_sim.h"
+#include "server/aggregator.h"
 
 namespace scuba {
 
@@ -38,6 +40,31 @@ class Dashboard {
   static std::string RenderDetailed(const std::vector<DashboardSample>& timeline,
                                     size_t max_rows = 16,
                                     size_t bar_width = 48);
+
+  /// Everything the query panel shows. CollectQueryPanel fills the latency
+  /// fields from the aggregator's registry histogram and the rest from
+  /// Aggregator::SampleQueryPanel; tests may also fill one by hand.
+  struct QueryPanelStats {
+    uint64_t queries = 0;             // non-system queries answered
+    double qps = 0.0;                 // queries / window_seconds
+    double p50_micros = 0.0;          // from the latency histogram
+    double p95_micros = 0.0;
+    double p99_micros = 0.0;
+    uint64_t slowest_query_id = 0;
+    int64_t slowest_latency_micros = 0;
+    std::string slowest_fingerprint;
+  };
+
+  /// Samples the aggregator (panel counters + the global
+  /// scuba.server.aggregator.query_latency_micros histogram).
+  /// `window_seconds` <= 0 leaves qps at 0.
+  static QueryPanelStats CollectQueryPanel(const Aggregator& aggregator,
+                                           double window_seconds);
+
+  /// Two-line query panel:
+  ///   queries: 1234 (41.1/s)  p50 0.8 ms  p95 3.1 ms  p99 9.4 ms
+  ///   slowest: query 87 12.3 ms  events|service==?|count
+  static std::string RenderQueryPanel(const QueryPanelStats& stats);
 };
 
 }  // namespace scuba

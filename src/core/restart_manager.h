@@ -26,9 +26,11 @@ std::string_view RecoverySourceName(RecoverySource source);
 /// Version of the restart-report JSON artifacts
 /// (leaf_<id>.{shutdown,recovery}_report.json) and of the bench --json
 /// metrics section. v1 had no version field; v2 added "schema_version"
-/// itself plus interpolated histogram percentiles in the metrics snapshot.
-/// Bump when a consumer-visible field changes shape or meaning.
-inline constexpr int kRestartReportSchemaVersion = 2;
+/// itself plus interpolated histogram percentiles in the metrics snapshot;
+/// v3 added the per-case query profile object (QueryProfile::ToJson) and
+/// the sampled-trace section to bench_query. Bump when a consumer-visible
+/// field changes shape or meaning.
+inline constexpr int kRestartReportSchemaVersion = 3;
 
 /// On-disk backup format.
 enum class BackupFormatKind {

@@ -20,13 +20,15 @@ struct ExporterMetrics {
   Counter* cycles;
   Counter* rows;
   Counter* sink_failures;
+  Counter* query_rows;
 
   static ExporterMetrics& Get() {
     auto& reg = MetricsRegistry::Global();
     static ExporterMetrics m{
         reg.GetCounter("scuba.obs.stats_exporter.cycles"),
         reg.GetCounter("scuba.obs.stats_exporter.rows_exported"),
-        reg.GetCounter("scuba.obs.stats_exporter.sink_failures")};
+        reg.GetCounter("scuba.obs.stats_exporter.sink_failures"),
+        reg.GetCounter("scuba.obs.stats_exporter.query_rows")};
     return m;
   }
 };
@@ -204,6 +206,20 @@ Status StatsExporter::ExportRestartEvent(std::string_view phase,
     return s;
   }
   ExporterMetrics::Get().rows->Add(1);
+  return s;
+}
+
+Status StatsExporter::ExportQueryRow(Row row) {
+  row.SetTime(NowUnixSeconds())
+      .Set("generation", static_cast<int64_t>(options_.generation))
+      .Set("leaf", static_cast<int64_t>(options_.leaf_id));
+  Status s = sink_(options_.query_table_name, {row});
+  if (!s.ok()) {
+    ExporterMetrics::Get().sink_failures->Add(1);
+    return s;
+  }
+  query_rows_.fetch_add(1, std::memory_order_relaxed);
+  ExporterMetrics::Get().query_rows->Add(1);
   return s;
 }
 

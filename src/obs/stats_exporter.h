@@ -28,6 +28,11 @@ inline constexpr std::string_view kSystemTablePrefix = "__scuba";
 /// The per-leaf self-stats table StatsExporter appends to.
 inline constexpr const char* kStatsTableName = "__scuba_stats";
 
+/// The self-hosted slow-query log: one row per slow (or 1-in-N sampled)
+/// query, written through the same system-table sink as __scuba_stats and
+/// therefore equally compressed, queryable, and restart-surviving.
+inline constexpr const char* kQueriesTableName = "__scuba_queries";
+
 /// True for names under the reserved system-table prefix.
 bool IsSystemTable(std::string_view table);
 
@@ -35,6 +40,8 @@ bool IsSystemTable(std::string_view table);
 struct StatsExporterOptions {
   /// Target system table.
   std::string table_name = kStatsTableName;
+  /// Target table for ExportQueryRow (the slow-query log).
+  std::string query_table_name = kQueriesTableName;
   /// Delta-snapshot period for the background thread.
   int64_t period_millis = 1000;
   /// Restart-heartbeat generation of this process; stamped on every row so
@@ -104,6 +111,19 @@ class StatsExporter {
   Status ExportRestartEvent(std::string_view phase, std::string_view detail,
                             int64_t duration_micros);
 
+  /// Appends one slow-query-log row to `__scuba_queries`, stamping the
+  /// cycle timestamp, generation, and leaf id onto the caller's columns
+  /// (fingerprint, latency, profile counters — the aggregator builds
+  /// those). The exporter's own query-log accounting lives under
+  /// scuba.obs.stats_exporter.* and is therefore excluded from export —
+  /// the same self-amplification break __scuba_stats relies on.
+  Status ExportQueryRow(Row row);
+
+  /// Slow-query rows exported so far (sink successes).
+  uint64_t query_rows() const {
+    return query_rows_.load(std::memory_order_relaxed);
+  }
+
   /// Completed export cycles (ExportOnce calls that reached the sink).
   uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
 
@@ -127,6 +147,7 @@ class StatsExporter {
   bool stopping_ = false;
 
   std::atomic<uint64_t> cycles_{0};
+  std::atomic<uint64_t> query_rows_{0};
 };
 
 }  // namespace obs

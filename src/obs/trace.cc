@@ -29,6 +29,10 @@ int64_t PhaseTracer::ElapsedMicros() const {
 }
 
 int PhaseTracer::BeginSpan(std::string name) {
+  return BeginSpanUnder(-1, std::move(name));
+}
+
+int PhaseTracer::BeginSpanUnder(int parent, std::string name) {
   int64_t now = ElapsedMicros();
   std::lock_guard<std::mutex> lock(mutex_);
   std::thread::id tid = std::this_thread::get_id();
@@ -42,8 +46,13 @@ int PhaseTracer::BeginSpan(std::string name) {
   span.thread = tn_it->second;
   std::vector<int>& stack = open_[tid];
   if (!stack.empty()) {
+    // Per-thread nesting wins: this thread is already inside a span.
     span.parent = stack.back();
     span.depth = spans_[stack.back()].depth + 1;
+  } else if (parent >= 0 && parent < static_cast<int>(spans_.size())) {
+    // Worker thread with no open span: attach to the explicit parent.
+    span.parent = parent;
+    span.depth = spans_[parent].depth + 1;
   }
   int id = static_cast<int>(spans_.size());
   spans_.push_back(std::move(span));

@@ -43,6 +43,13 @@ class PhaseTracer {
 
   /// Starts a span; returns its id (index). Thread-safe.
   int BeginSpan(std::string name);
+  /// Starts a span with an explicit fallback parent: if the calling thread
+  /// already has an open span, normal per-thread nesting wins; otherwise
+  /// the span nests under `parent` (-1 = root). This is how spans started
+  /// on pool worker threads attach to the operation-level span their work
+  /// belongs to (e.g. a per-leaf query execute under the aggregator's
+  /// fan-out root) instead of becoming disconnected roots.
+  int BeginSpanUnder(int parent, std::string name);
   /// Ends span `id`, attributing `bytes` to it. Thread-safe.
   void EndSpan(int id, uint64_t bytes = 0);
 
@@ -72,10 +79,20 @@ class PhaseTracer {
     Span(PhaseTracer* tracer, std::string name)
         : tracer_(tracer),
           id_(tracer == nullptr ? -1 : tracer->BeginSpan(std::move(name))) {}
+    /// Explicit-parent variant (BeginSpanUnder semantics).
+    Span(PhaseTracer* tracer, int parent, std::string name)
+        : tracer_(tracer),
+          id_(tracer == nullptr
+                  ? -1
+                  : tracer->BeginSpanUnder(parent, std::move(name))) {}
     ~Span() { End(); }
 
     Span(const Span&) = delete;
     Span& operator=(const Span&) = delete;
+
+    /// The underlying span id (-1 with a null tracer) — pass as the
+    /// explicit parent of spans started on other threads.
+    int id() const { return id_; }
 
     void AddBytes(uint64_t bytes) { bytes_ += bytes; }
     /// Ends the span early (idempotent).

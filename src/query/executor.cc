@@ -8,6 +8,7 @@
 #include <variant>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/scan_kernels.h"
 #include "util/clock.h"
 
@@ -460,6 +461,28 @@ Status CheckPredicateTypes(const Predicate& pred, ColumnType column_type) {
   return Status::OK();
 }
 
+// Bytes a decoded scan column occupies — the profile's bytes_decoded.
+// Deterministic per block (lazy decode decisions depend only on the query
+// and the block contents), so the merged total is part of the
+// determinism contract.
+uint64_t ScanColumnBytes(const scan::ScanColumn& column) {
+  if (const auto* ints = std::get_if<std::vector<int64_t>>(&column)) {
+    return ints->size() * sizeof(int64_t);
+  }
+  if (const auto* dbls = std::get_if<std::vector<double>>(&column)) {
+    return dbls->size() * sizeof(double);
+  }
+  if (const auto* strs = std::get_if<std::vector<std::string>>(&column)) {
+    uint64_t bytes = 0;
+    for (const std::string& s : *strs) bytes += s.size();
+    return bytes;
+  }
+  const auto& dict = std::get<scan::DictStringColumn>(column);
+  uint64_t bytes = dict.codes.size() * sizeof(uint32_t);
+  for (const std::string& s : dict.dict) bytes += s.size();
+  return bytes;
+}
+
 // Refines `sel` with one (already type-checked) predicate.
 void ApplyPredicate(const Predicate& pred, const scan::ScanColumn& column,
                     scan::SelVector* sel) {
@@ -515,6 +538,7 @@ bool ZonePrunesBlock(const RowBlock& block, const Predicate& pred,
 Status ProcessChunkVectorized(LazyColumns* cols, const Query& query,
                               const TypeMap& types, QueryResult* result) {
   result->rows_scanned += cols->rows();
+  result->profile().rows_scanned += cols->rows();
 
   SCUBA_ASSIGN_OR_RETURN(const scan::ScanColumn* time_col,
                          cols->Get(kTimeColumnName));
@@ -533,6 +557,7 @@ Status ProcessChunkVectorized(LazyColumns* cols, const Query& query,
     ApplyPredicate(pred, *col, &sel);
   }
   result->rows_matched += sel.size();
+  result->profile().rows_matched += sel.size();
   QueryMetrics::Get().rows_matched->Add(sel.size());
   if (sel.empty()) return Status::OK();
 
@@ -577,15 +602,27 @@ Status ProcessChunkVectorized(LazyColumns* cols, const Query& query,
   return Status::OK();
 }
 
-Status ScanBlock(const RowBlock& block, const Query& query,
-                 const TypeMap& types, QueryResult* result) {
+Status ScanBlock(const RowBlock& block, size_t block_index,
+                 const Query& query, const TypeMap& types,
+                 const QueryContext* ctx, QueryResult* result) {
   QueryMetrics& metrics = QueryMetrics::Get();
+  obs::PhaseTracer* tracer = ctx != nullptr ? ctx->tracer : nullptr;
+  // A worker thread has no open span, so the block span attaches under the
+  // explicit parent (the leaf's execute span); on the calling thread the
+  // per-thread nesting wins and gives the same shape.
+  obs::PhaseTracer::Span block_span(
+      tracer, ctx != nullptr ? ctx->parent_span : -1,
+      "block " + std::to_string(block_index));
+  const int64_t span_start = tracer != nullptr ? tracer->ElapsedMicros() : 0;
+
   const size_t rows = block.header().row_count;
   int64_t decode_micros = 0;
+  uint64_t decode_bytes = 0;
   LazyColumns cols(rows, [&](const std::string& name, scan::ScanColumn* out) {
     Stopwatch decode_watch;
     Status s = LoadBlockColumn(block, types, rows, name, out);
     decode_micros += decode_watch.ElapsedMicros();
+    if (s.ok()) decode_bytes += ScanColumnBytes(*out);
     return s;
   });
   Stopwatch scan_watch;
@@ -593,11 +630,29 @@ Status ScanBlock(const RowBlock& block, const Query& query,
   // Decode happens lazily inside the kernel pass, so the split is
   // total-minus-decode rather than two disjoint timers.
   int64_t total_micros = scan_watch.ElapsedMicros();
+  int64_t kernel_micros = std::max<int64_t>(0, total_micros - decode_micros);
   metrics.decode_micros->Record(static_cast<uint64_t>(decode_micros));
-  metrics.kernel_micros->Record(static_cast<uint64_t>(
-      std::max<int64_t>(0, total_micros - decode_micros)));
+  metrics.kernel_micros->Record(static_cast<uint64_t>(kernel_micros));
   metrics.blocks_scanned->Add(1);
   ++result->blocks_scanned;
+
+  QueryProfile& profile = result->profile();
+  ++profile.blocks_scanned;
+  profile.decode_micros += decode_micros;
+  profile.kernel_micros += kernel_micros;
+  profile.bytes_decoded += decode_bytes;
+
+  if (tracer != nullptr) {
+    // Decode interleaves with the kernel (lazy per column), so the
+    // timeline shows the split as two back-to-back synthesized children
+    // whose durations are the measured totals — the same presentation the
+    // restore path uses for its disk read/translate split.
+    block_span.AddBytes(decode_bytes);
+    tracer->AddCompletedSpan("decode", span_start, span_start + decode_micros,
+                             decode_bytes);
+    tracer->AddCompletedSpan("kernel", span_start + decode_micros,
+                             span_start + decode_micros + kernel_micros);
+  }
   return Status::OK();
 }
 
@@ -616,6 +671,7 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
   metrics.queries->Add(1);
 
   QueryResult result(query.aggregates);
+  if (options.ctx != nullptr) result.profile().query_id = options.ctx->query_id;
   std::set<std::string> needed = NeededColumns(query);
   SCUBA_ASSIGN_OR_RETURN(TypeMap types, ResolveTypes(table, query, needed));
 
@@ -633,33 +689,45 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
     ++prunable_predicates;
   }
 
+  obs::PhaseTracer* tracer = options.ctx != nullptr ? options.ctx->tracer
+                                                    : nullptr;
+  const int parent_span = options.ctx != nullptr ? options.ctx->parent_span
+                                                 : -1;
+
   // Pruning pass: header time range first, then per-predicate zone maps.
   // Both decide from fixed-size metadata without decoding the block.
+  Stopwatch prune_watch;
   std::vector<const RowBlock*> to_scan;
   to_scan.reserve(table.num_row_blocks());
-  for (size_t b = 0; b < table.num_row_blocks(); ++b) {
-    const RowBlock* block = table.row_block(b);
-    if (block == nullptr) continue;
-    if (!block->OverlapsTimeRange(query.begin_time, query.end_time)) {
-      ++result.blocks_pruned;
-      metrics.blocks_pruned->Add(1);
-      continue;
-    }
-    bool pruned = false;
-    for (size_t p = 0; p < prunable_predicates; ++p) {
-      const Predicate& pred = query.predicates[p];
-      if (ZonePrunesBlock(*block, pred, types.at(pred.column))) {
-        pruned = true;
-        break;
+  {
+    obs::PhaseTracer::Span prune_span(tracer, parent_span, "prune");
+    for (size_t b = 0; b < table.num_row_blocks(); ++b) {
+      const RowBlock* block = table.row_block(b);
+      if (block == nullptr) continue;
+      if (!block->OverlapsTimeRange(query.begin_time, query.end_time)) {
+        ++result.blocks_pruned;
+        ++result.profile().blocks_time_pruned;
+        metrics.blocks_pruned->Add(1);
+        continue;
       }
+      bool pruned = false;
+      for (size_t p = 0; p < prunable_predicates; ++p) {
+        const Predicate& pred = query.predicates[p];
+        if (ZonePrunesBlock(*block, pred, types.at(pred.column))) {
+          pruned = true;
+          break;
+        }
+      }
+      if (pruned) {
+        ++result.blocks_pruned;
+        ++result.profile().blocks_zone_pruned;
+        metrics.blocks_pruned->Add(1);
+        continue;
+      }
+      to_scan.push_back(block);
     }
-    if (pruned) {
-      ++result.blocks_pruned;
-      metrics.blocks_pruned->Add(1);
-      continue;
-    }
-    to_scan.push_back(block);
   }
+  result.profile().prune_micros = prune_watch.ElapsedMicros();
 
   // One partial per surviving block, merged in block order below: the
   // result is bit-identical for every thread count, serial included.
@@ -667,9 +735,17 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
                                     QueryResult(query.aggregates));
   SCUBA_RETURN_IF_ERROR(
       ParallelFor(options.pool, to_scan.size(), [&](size_t i) {
-        return ScanBlock(*to_scan[i], query, types, &partials[i]);
+        return ScanBlock(*to_scan[i], i, query, types, options.ctx,
+                         &partials[i]);
       }));
-  for (const QueryResult& partial : partials) result.Merge(partial);
+  Stopwatch merge_watch;
+  {
+    obs::PhaseTracer::Span merge_span(tracer, parent_span, "merge blocks");
+    for (const QueryResult& partial : partials) result.Merge(partial);
+  }
+  // Stamped after the block merge (partials carry no merge time of their
+  // own, so the += below only ever adds the buffer partial's zero).
+  result.profile().merge_micros += merge_watch.ElapsedMicros();
 
   // The write buffer scans last, on the calling thread, into its own
   // partial: merging it like a block keeps aggregate rounding identical to
@@ -677,13 +753,27 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
   // restart round-trip property tests compare results bit-for-bit).
   if (!table.write_buffer().empty()) {
     const WriteBuffer& buffer = table.write_buffer();
+    obs::PhaseTracer::Span buffer_span(tracer, parent_span, "write buffer");
+    int64_t decode_micros = 0;
+    uint64_t decode_bytes = 0;
     LazyColumns cols(buffer.row_count(),
                      [&](const std::string& name, scan::ScanColumn* out) {
-                       return LoadBufferColumn(buffer, types, name, out);
+                       Stopwatch decode_watch;
+                       Status s = LoadBufferColumn(buffer, types, name, out);
+                       decode_micros += decode_watch.ElapsedMicros();
+                       if (s.ok()) decode_bytes += ScanColumnBytes(*out);
+                       return s;
                      });
     QueryResult partial(query.aggregates);
+    Stopwatch scan_watch;
     SCUBA_RETURN_IF_ERROR(
         ProcessChunkVectorized(&cols, query, types, &partial));
+    QueryProfile& buffer_profile = partial.profile();
+    buffer_profile.decode_micros = decode_micros;
+    buffer_profile.kernel_micros =
+        std::max<int64_t>(0, scan_watch.ElapsedMicros() - decode_micros);
+    buffer_profile.bytes_decoded = decode_bytes;
+    buffer_span.AddBytes(decode_bytes);
     result.Merge(partial);
   }
   return result;
@@ -716,6 +806,14 @@ StatusOr<QueryResult> LeafExecutor::ExecuteScalar(const Table& table,
         DecodeBuffer(table.write_buffer(), needed, types, &chunk));
     SCUBA_RETURN_IF_ERROR(ProcessChunkScalar(chunk, query, &result));
   }
+  // The oracle fills the profile's coarse counters from its legacy stats
+  // (it prunes on time range only and never tracks decode), so profile
+  // fields in bench output stay meaningful on the scalar legs.
+  QueryProfile& profile = result.profile();
+  profile.blocks_scanned = result.blocks_scanned;
+  profile.blocks_time_pruned = result.blocks_pruned;
+  profile.rows_scanned = result.rows_scanned;
+  profile.rows_matched = result.rows_matched;
   return result;
 }
 

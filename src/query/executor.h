@@ -3,6 +3,7 @@
 
 #include "columnar/table.h"
 #include "query/query.h"
+#include "query/query_context.h"
 #include "query/result.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -41,6 +42,10 @@ class LeafExecutor {
     /// Worker pool for the per-row-block fan-out; nullptr scans serially
     /// on the calling thread. Results are identical either way.
     ThreadPool* pool = nullptr;
+    /// Observability context (query id, trace sampling). nullptr behaves
+    /// like an unsampled context: the profile in the result is still
+    /// filled (its counters are free), but no spans are recorded.
+    const QueryContext* ctx = nullptr;
   };
 
   /// Vectorized execution (serial block scan).

@@ -46,6 +46,33 @@ std::string_view CompareOpName(CompareOp op) {
   return "?";
 }
 
+std::string Query::Fingerprint() const {
+  std::string fp = table;
+  for (const Predicate& pred : predicates) {
+    fp += '|';
+    fp += pred.column;
+    fp += CompareOpName(pred.op);
+    fp += '?';
+  }
+  if (time_bucket_seconds > 0) {
+    fp += "|bucket:" + std::to_string(time_bucket_seconds);
+  }
+  for (const std::string& g : group_by) {
+    fp += "|group:";
+    fp += g;
+  }
+  for (const Aggregate& agg : aggregates) {
+    fp += '|';
+    fp += AggregateOpName(agg.op);
+    if (!agg.column.empty()) {
+      fp += '(';
+      fp += agg.column;
+      fp += ')';
+    }
+  }
+  return fp;
+}
+
 Status Query::Validate() const {
   if (table.empty()) {
     return Status::InvalidArgument("query: table name required");

@@ -78,6 +78,12 @@ struct Query {
 
   /// Structural validation (at least one aggregate, time range sane).
   Status Validate() const;
+
+  /// Canonical shape of this query with literals and the time range
+  /// masked, e.g. `service_logs|status>=?|bucket:60|group:service|count` —
+  /// the grouping key of the slow-query log, under which "the same
+  /// dashboard query with a different time window" collapses to one entry.
+  std::string Fingerprint() const;
 };
 
 /// Convenience builders.

@@ -1,0 +1,12 @@
+#include "query/query_context.h"
+
+#include <atomic>
+
+namespace scuba {
+
+uint64_t NextQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace scuba

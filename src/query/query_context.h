@@ -1,0 +1,47 @@
+#ifndef SCUBA_QUERY_QUERY_CONTEXT_H_
+#define SCUBA_QUERY_QUERY_CONTEXT_H_
+
+#include <cstdint>
+
+#include "obs/trace.h"
+
+namespace scuba {
+
+/// Per-query observability context, created once at the aggregator and
+/// threaded through the whole read path — LeafServer::ExecuteQuery, the
+/// LeafExecutor, and the per-row-block scans — so a single query's work is
+/// attributable end to end across the fan-out (§2: "the aggregator servers
+/// distribute a query to all leaves and then aggregate the results as they
+/// arrive").
+///
+/// The context is cheap plain data, copied per leaf. An unsampled query
+/// carries a null tracer, and every instrumentation site treats a null
+/// tracer as "off" (PhaseTracer::Span no-ops), so the common path pays a
+/// pointer test and nothing else.
+struct QueryContext {
+  /// Process-unique query id (NextQueryId()); 0 = not yet assigned. The
+  /// aggregator stamps it into the merged result's profile and the slow
+  /// query log, so a `__scuba_queries` row, a span timeline, and a bench
+  /// profile all name the same execution.
+  uint64_t query_id = 0;
+
+  /// Whether this query was chosen for span tracing (the aggregator's
+  /// 1-in-N trace sampling decision, or an explicit caller request).
+  bool sampled = false;
+
+  /// Span sink for a sampled query; nullptr = tracing off (free).
+  obs::PhaseTracer* tracer = nullptr;
+
+  /// Explicit parent span for spans started on worker threads (a parallel
+  /// fan-out's per-leaf execute spans attach under the aggregator's
+  /// fan-out root; a leaf's per-block scan spans attach under the leaf's
+  /// execute span). -1 = become a root when the thread has no open span.
+  int parent_span = -1;
+};
+
+/// Process-wide monotonically increasing query id (never returns 0).
+uint64_t NextQueryId();
+
+}  // namespace scuba
+
+#endif  // SCUBA_QUERY_QUERY_CONTEXT_H_

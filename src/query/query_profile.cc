@@ -1,0 +1,95 @@
+#include "query/query_profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace scuba {
+
+void QueryProfile::Merge(const QueryProfile& other) {
+  blocks_scanned += other.blocks_scanned;
+  blocks_time_pruned += other.blocks_time_pruned;
+  blocks_zone_pruned += other.blocks_zone_pruned;
+  rows_scanned += other.rows_scanned;
+  rows_matched += other.rows_matched;
+  bytes_decoded += other.bytes_decoded;
+  leaves_total += other.leaves_total;
+  leaves_responded += other.leaves_responded;
+  unavailable_leaves.insert(unavailable_leaves.end(),
+                            other.unavailable_leaves.begin(),
+                            other.unavailable_leaves.end());
+  prune_micros += other.prune_micros;
+  decode_micros += other.decode_micros;
+  kernel_micros += other.kernel_micros;
+  merge_micros += other.merge_micros;
+  leaf_execute_micros += other.leaf_execute_micros;
+  fanout_queue_wait_micros += other.fanout_queue_wait_micros;
+  // query_id and wall_micros are aggregator-stamped: keep this side's.
+}
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream os;
+  os << "{\"query_id\": " << query_id
+     << ", \"wall_micros\": " << wall_micros
+     << ", \"blocks_scanned\": " << blocks_scanned
+     << ", \"blocks_time_pruned\": " << blocks_time_pruned
+     << ", \"blocks_zone_pruned\": " << blocks_zone_pruned
+     << ", \"rows_scanned\": " << rows_scanned
+     << ", \"rows_matched\": " << rows_matched
+     << ", \"bytes_decoded\": " << bytes_decoded
+     << ", \"leaves_total\": " << leaves_total
+     << ", \"leaves_responded\": " << leaves_responded
+     << ", \"unavailable_leaves\": [";
+  for (size_t i = 0; i < unavailable_leaves.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << unavailable_leaves[i];
+  }
+  os << "], \"prune_micros\": " << prune_micros
+     << ", \"decode_micros\": " << decode_micros
+     << ", \"kernel_micros\": " << kernel_micros
+     << ", \"merge_micros\": " << merge_micros
+     << ", \"leaf_execute_micros\": " << leaf_execute_micros
+     << ", \"fanout_queue_wait_micros\": " << fanout_queue_wait_micros << "}";
+  return os.str();
+}
+
+namespace {
+
+std::string Millis(int64_t micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms",
+                static_cast<double>(micros) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryProfile::ToText() const {
+  std::ostringstream os;
+  os << "query " << query_id << ": " << Millis(wall_micros) << " wall, "
+     << leaves_responded << "/" << leaves_total << " leaves";
+  if (!unavailable_leaves.empty()) {
+    os << " (unavailable:";
+    for (uint32_t id : unavailable_leaves) os << " " << id;
+    os << ")";
+  }
+  os << "\n  blocks: " << blocks_scanned << " scanned, " << blocks_time_pruned
+     << " time-pruned, " << blocks_zone_pruned << " zone-pruned";
+  double matched_pct =
+      rows_scanned == 0 ? 0.0
+                        : 100.0 * static_cast<double>(rows_matched) /
+                              static_cast<double>(rows_scanned);
+  char pct[16];
+  std::snprintf(pct, sizeof(pct), "%.1f%%", matched_pct);
+  os << "\n  rows:   " << rows_scanned << " scanned, " << rows_matched
+     << " matched (" << pct << ")";
+  os << "\n  bytes:  " << bytes_decoded << " decoded";
+  os << "\n  stages: prune " << Millis(prune_micros) << ", decode "
+     << Millis(decode_micros) << ", kernel " << Millis(kernel_micros)
+     << ", merge " << Millis(merge_micros);
+  os << "\n  fanout: " << Millis(leaf_execute_micros)
+     << " summed leaf execute, " << Millis(fanout_queue_wait_micros)
+     << " queue wait";
+  return os.str();
+}
+
+}  // namespace scuba

@@ -1,0 +1,82 @@
+#ifndef SCUBA_QUERY_QUERY_PROFILE_H_
+#define SCUBA_QUERY_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scuba {
+
+/// Execution profile of one query, carried inside QueryResult and merged
+/// exactly like the aggregate partials: Merge is associative, and because
+/// per-block partials merge in block order and per-leaf partials in leaf
+/// order, every COUNTER below is bit-identical for any
+/// `num_query_threads` and for sequential vs parallel aggregator fan-out.
+/// The TIMING fields are honest wall-clock measurements and therefore not
+/// reproducible run to run — they sum on merge so the totals stay
+/// meaningful ("how much decode time did this query buy across all
+/// leaves"), but they are excluded from the determinism contract.
+struct QueryProfile {
+  // --- identity (stamped by the aggregator; kept on merge) ---------------
+  uint64_t query_id = 0;
+
+  // --- deterministic counters (summed on merge) ---------------------------
+  uint64_t blocks_scanned = 0;
+  /// Blocks skipped from the header [min_time, max_time] alone (§2.1).
+  uint64_t blocks_time_pruned = 0;
+  /// Blocks skipped from a per-column zone map (layout v2 footers).
+  uint64_t blocks_zone_pruned = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  /// Bytes materialized by column decode (lazy: only columns a predicate
+  /// touched, plus group/aggregate columns of blocks with survivors).
+  uint64_t bytes_decoded = 0;
+
+  // --- availability (summed on merge, like QueryResult's) -----------------
+  uint32_t leaves_total = 0;
+  uint32_t leaves_responded = 0;
+  /// Leaf ids that returned Unavailable (restarting mid-rollover),
+  /// appended in leaf order on merge — the per-leaf attribution of how
+  /// partial a partial result is.
+  std::vector<uint32_t> unavailable_leaves;
+
+  // --- per-stage timings, microseconds (summed on merge) ------------------
+  /// Pruning pass over block metadata (time range + zone maps).
+  int64_t prune_micros = 0;
+  /// Column decompression into scan form.
+  int64_t decode_micros = 0;
+  /// Vectorized predicate + accumulate work on decoded vectors
+  /// (total scan minus decode).
+  int64_t kernel_micros = 0;
+  /// Merging partial results (per-block at the leaf, per-leaf at the
+  /// aggregator).
+  int64_t merge_micros = 0;
+  /// Sum of per-leaf execute wall times (what the fan-out bought: with N
+  /// parallel leaves this exceeds the aggregator wall).
+  int64_t leaf_execute_micros = 0;
+  /// Time the per-leaf tasks spent queued behind busy workers in the
+  /// aggregator's shared fan-out pool (0 on the sequential path).
+  int64_t fanout_queue_wait_micros = 0;
+
+  // --- aggregator-level (stamped after the last merge; kept on merge) -----
+  /// End-to-end aggregator wall time of the whole query.
+  int64_t wall_micros = 0;
+
+  /// Associative, commutative-over-counters accumulation; identity and
+  /// wall_micros keep this side's value (the aggregator stamps them last).
+  void Merge(const QueryProfile& other);
+
+  /// Machine-readable single-object JSON of every field above.
+  std::string ToJson() const;
+
+  /// Human-readable EXPLAIN-ANALYZE-style rendering, e.g.
+  ///   query 42: 12.3 ms wall, 3/4 leaves
+  ///     blocks: 5 scanned, 10 time-pruned, 1 zone-pruned
+  ///     rows:   40960 scanned, 512 matched (1.2%)
+  ///     ...
+  std::string ToText() const;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_QUERY_QUERY_PROFILE_H_

@@ -124,6 +124,7 @@ void QueryResult::Merge(const QueryResult& other) {
   blocks_pruned += other.blocks_pruned;
   leaves_total += other.leaves_total;
   leaves_responded += other.leaves_responded;
+  profile_.Merge(other.profile_);
 }
 
 std::vector<ResultRow> QueryResult::Finalize(

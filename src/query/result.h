@@ -9,6 +9,7 @@
 #include "columnar/types.h"
 #include "query/histogram.h"
 #include "query/query.h"
+#include "query/query_profile.h"
 #include "util/status.h"
 
 namespace scuba {
@@ -112,7 +113,9 @@ class QueryResult {
 
   size_t num_groups() const { return groups_.size(); }
 
-  // Scan / pruning statistics (summed on merge).
+  // Scan / pruning statistics (summed on merge). These are the historical
+  // coarse counters; profile() below carries the full per-stage breakdown
+  // (time- vs zone-pruned split, bytes decoded, stage timings).
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
   uint64_t blocks_scanned = 0;
@@ -122,6 +125,11 @@ class QueryResult {
   uint32_t leaves_total = 0;
   uint32_t leaves_responded = 0;
   bool IsPartial() const { return leaves_responded < leaves_total; }
+
+  /// Execution profile, merged like the aggregate partials (associative,
+  /// block-order/leaf-order deterministic counters — see QueryProfile).
+  const QueryProfile& profile() const { return profile_; }
+  QueryProfile& profile() { return profile_; }
 
  private:
   struct Group {
@@ -147,6 +155,7 @@ class QueryResult {
 
   std::vector<AggregateOp> ops_;
   std::unordered_map<std::vector<Value>, Group, KeyHash, KeyEq> groups_;
+  QueryProfile profile_;
 };
 
 }  // namespace scuba

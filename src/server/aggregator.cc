@@ -2,72 +2,248 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
+
+#include "columnar/row.h"
+#include "obs/metrics.h"
+#include "obs/stats_exporter.h"
+#include "util/clock.h"
 
 namespace scuba {
+namespace {
+
+// Aggregator-level query counters (scuba.server.aggregator.*). The
+// per-table latency histograms are created on first use (dynamic names),
+// not cached here.
+struct AggregatorMetrics {
+  obs::Counter* queries;
+  obs::Counter* traces_sampled;
+  obs::Counter* slow_queries_logged;
+  obs::Histogram* query_latency_micros;
+  obs::Histogram* fanout_queue_wait_micros;
+
+  static AggregatorMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static AggregatorMetrics m{
+        reg.GetCounter("scuba.server.aggregator.queries"),
+        reg.GetCounter("scuba.server.aggregator.traces_sampled"),
+        reg.GetCounter("scuba.server.aggregator.slow_queries_logged"),
+        reg.GetHistogram("scuba.server.aggregator.query_latency_micros"),
+        reg.GetHistogram(
+            "scuba.server.aggregator.fanout_queue_wait_micros")};
+    return m;
+  }
+};
+
+}  // namespace
 
 StatusOr<QueryResult> Aggregator::Execute(const Query& query) {
   SCUBA_RETURN_IF_ERROR(query.Validate());
-  return parallel_fanout_ ? ExecuteParallel(query)
-                          : ExecuteSequential(query);
+
+  QueryContext ctx;
+  ctx.query_id = NextQueryId();
+  // The 1-in-N sampling decision. System tables are never sampled: the
+  // dashboard and exporter poll them, and tracing the pollers would bury
+  // the user queries the samples exist to explain.
+  std::unique_ptr<obs::PhaseTracer> tracer;
+  {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    if (trace_sample_every_n_ > 0 && !obs::IsSystemTable(query.table) &&
+        trace_counter_++ % trace_sample_every_n_ == 0) {
+      tracer = std::make_unique<obs::PhaseTracer>();
+      ctx.sampled = true;
+      ctx.tracer = tracer.get();
+    }
+  }
+
+  auto result = Execute(query, ctx);
+
+  if (tracer != nullptr) {
+    AggregatorMetrics::Get().traces_sampled->Add(1);
+    std::string json = tracer->ToJson();
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    last_trace_json_ = std::move(json);
+  }
+  return result;
 }
 
-StatusOr<QueryResult> Aggregator::ExecuteSequential(const Query& query) {
-  QueryResult merged(query.aggregates);
-  merged.leaves_total = static_cast<uint32_t>(leaves_.size());
+StatusOr<QueryResult> Aggregator::Execute(const Query& query,
+                                          const QueryContext& ctx) {
+  SCUBA_RETURN_IF_ERROR(query.Validate());
+  AggregatorMetrics::Get().queries->Add(1);
+  const bool system = obs::IsSystemTable(query.table);
 
-  for (LeafServer* leaf : leaves_) {
-    auto result = leaf->ExecuteQuery(query);
-    if (!result.ok()) {
-      if (result.status().IsUnavailable()) {
-        // Restarting leaf: its data is simply missing from the result.
-        continue;
-      }
-      return result.status();
-    }
-    // Count the leaf once; the per-leaf result already carries 1/1.
-    result->leaves_total = 0;
-    result->leaves_responded = 0;
-    merged.Merge(*result);
-    ++merged.leaves_responded;
-  }
+  Stopwatch wall;
+  SCUBA_ASSIGN_OR_RETURN(QueryResult merged, ExecuteInternal(query, ctx));
+  const int64_t wall_micros = wall.ElapsedMicros();
+
+  // Third back-to-back root after fanout and merge: stamping, histograms,
+  // fingerprinting and the slow-query log are real per-query work, and the
+  // timeline owns up to it (the >90% wall-coverage bar counts roots only).
+  obs::PhaseTracer::Span record_span(ctx.tracer, ctx.parent_span, "record");
+  QueryProfile& profile = merged.profile();
+  profile.query_id = ctx.query_id;
+  profile.wall_micros = wall_micros;
+  profile.leaves_total = merged.leaves_total;
+  profile.leaves_responded = merged.leaves_responded;
+
+  RecordQueryStats(query, merged, wall_micros, system);
   return merged;
 }
 
-StatusOr<QueryResult> Aggregator::ExecuteParallel(const Query& query) {
+StatusOr<QueryResult> Aggregator::ExecuteInternal(const Query& query,
+                                                  const QueryContext& ctx) {
   QueryResult merged(query.aggregates);
   merged.leaves_total = static_cast<uint32_t>(leaves_.size());
+  obs::PhaseTracer* tracer = ctx.tracer;
 
-  // Lazily build the shared fan-out pool the first parallel query needs it
-  // (previously: one std::thread spawned per leaf per query). Queries with
-  // more leaves than workers just queue; the pool size stays fixed.
-  if (fanout_pool_ == nullptr && leaves_.size() > 1) {
-    fanout_pool_ = std::make_unique<ThreadPool>(
-        std::min(leaves_.size(), kMaxFanoutThreads));
-  }
+  const bool parallel = parallel_fanout_ && leaves_.size() > 1;
 
   // Each leaf writes only its own slot — no merge lock; the merge below
   // walks the slots in leaf order so the output is deterministic and
-  // identical to the sequential fan-out.
+  // identical to the sequential fan-out. queue_wait[i] is how long leaf
+  // i's task sat behind busy pool workers before starting.
   std::vector<std::optional<StatusOr<QueryResult>>> slots(leaves_.size());
-  Status fanout = ParallelFor(fanout_pool_.get(), leaves_.size(),
-                              [&](size_t i) -> Status {
-                                slots[i] = leaves_[i]->ExecuteQuery(query);
-                                return Status::OK();
-                              });
-  SCUBA_RETURN_IF_ERROR(fanout);  // the tasks themselves never fail
-
-  for (std::optional<StatusOr<QueryResult>>& slot : slots) {
-    StatusOr<QueryResult>& result = *slot;
-    if (!result.ok()) {
-      if (result.status().IsUnavailable()) continue;
-      return result.status();
+  std::vector<int64_t> queue_wait(leaves_.size(), 0);
+  {
+    // The fan-out and merge roots are recorded back to back on this
+    // thread, so RootCoverageMicros() accounts for (nearly) the whole
+    // aggregator wall time; per-leaf execute spans attach under the
+    // fan-out root from whatever thread runs them.
+    obs::PhaseTracer::Span fanout_span(tracer, ctx.parent_span, "fanout");
+    QueryContext leaf_ctx = ctx;
+    leaf_ctx.parent_span = fanout_span.id();
+    if (parallel) {
+      // Lazily build the shared fan-out pool when the first parallel query
+      // needs it (previously: one std::thread spawned per leaf per query).
+      // Queries over more leaves than workers just queue; the pool size
+      // stays fixed. Construction happens under the fanout span so the
+      // first query's timeline owns up to the setup cost.
+      if (fanout_pool_ == nullptr) {
+        fanout_pool_ = std::make_unique<ThreadPool>(
+            std::min(leaves_.size(), kMaxFanoutThreads));
+      }
+      Stopwatch fanout_watch;
+      Status fanout = ParallelFor(
+          fanout_pool_.get(), leaves_.size(), [&](size_t i) -> Status {
+            queue_wait[i] = fanout_watch.ElapsedMicros();
+            slots[i] = leaves_[i]->ExecuteQuery(query, leaf_ctx);
+            return Status::OK();
+          });
+      SCUBA_RETURN_IF_ERROR(fanout);  // the tasks themselves never fail
+    } else {
+      for (size_t i = 0; i < leaves_.size(); ++i) {
+        slots[i] = leaves_[i]->ExecuteQuery(query, leaf_ctx);
+      }
     }
-    result->leaves_total = 0;
-    result->leaves_responded = 0;
-    merged.Merge(*result);
-    ++merged.leaves_responded;
   }
+
+  Stopwatch merge_watch;
+  {
+    obs::PhaseTracer::Span merge_span(tracer, ctx.parent_span, "merge");
+    AggregatorMetrics& metrics = AggregatorMetrics::Get();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      StatusOr<QueryResult>& result = *slots[i];
+      if (!result.ok()) {
+        if (result.status().IsUnavailable()) {
+          // Restarting leaf: its data is simply missing from the result,
+          // but the profile records who was missing.
+          merged.profile().unavailable_leaves.push_back(
+              leaves_[i]->config().leaf_id);
+          continue;
+        }
+        // A real query error names the leaf that produced it.
+        return Status(result.status().code(),
+                      "leaf " +
+                          std::to_string(leaves_[i]->config().leaf_id) +
+                          ": " + result.status().message());
+      }
+      // Count the leaf once; the per-leaf result already carries 1/1.
+      result->leaves_total = 0;
+      result->leaves_responded = 0;
+      result->profile().leaves_total = 0;
+      result->profile().leaves_responded = 0;
+      if (parallel) {
+        merged.profile().fanout_queue_wait_micros += queue_wait[i];
+        metrics.fanout_queue_wait_micros->Record(
+            static_cast<uint64_t>(queue_wait[i]));
+      }
+      merged.Merge(*result);
+      ++merged.leaves_responded;
+    }
+  }
+  merged.profile().merge_micros += merge_watch.ElapsedMicros();
   return merged;
+}
+
+void Aggregator::RecordQueryStats(const Query& query,
+                                  const QueryResult& result,
+                                  int64_t wall_micros, bool system) {
+  AggregatorMetrics& metrics = AggregatorMetrics::Get();
+  metrics.query_latency_micros->Record(static_cast<uint64_t>(wall_micros));
+  // Self-amplification guard: the dashboard/exporter queries against
+  // `__scuba*` tables feed neither the per-table histograms, the panel,
+  // nor the slow-query log — otherwise monitoring the slow-query log
+  // would fill the slow-query log.
+  if (system) return;
+
+  obs::MetricsRegistry::Global()
+      .GetHistogram("scuba.server.aggregator.query_latency_micros." +
+                    query.table)
+      ->Record(static_cast<uint64_t>(wall_micros));
+
+  const char* kind = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    ++panel_.queries;
+    if (wall_micros > panel_.slowest_latency_micros ||
+        panel_.slowest_query_id == 0) {
+      panel_.slowest_query_id = result.profile().query_id;
+      panel_.slowest_latency_micros = wall_micros;
+      panel_.slowest_fingerprint = query.Fingerprint();
+    }
+    const bool sampled =
+        slow_query_sample_every_n_ > 0 &&
+        slow_query_counter_++ % slow_query_sample_every_n_ == 0;
+    if (slow_query_threshold_micros_ > 0 &&
+        wall_micros >= slow_query_threshold_micros_) {
+      kind = "slow";
+    } else if (sampled) {
+      kind = "sample";
+    }
+  }
+  if (kind == nullptr) return;
+
+  // Route the row through the first live leaf's exporter; the row lands in
+  // that leaf's `__scuba_queries` shard and merges through the normal
+  // aggregation path like any other table.
+  obs::StatsExporter* exporter = nullptr;
+  for (LeafServer* leaf : leaves_) {
+    if (leaf->stats_exporter() != nullptr && leaf->IsAlive()) {
+      exporter = leaf->stats_exporter();
+      break;
+    }
+  }
+  if (exporter == nullptr) return;
+
+  const QueryProfile& p = result.profile();
+  Row row;
+  row.Set("kind", std::string(kind))
+      .Set("query_id", static_cast<int64_t>(p.query_id))
+      .Set("fingerprint", query.Fingerprint())
+      .Set("table", query.table)
+      .Set("latency_micros", wall_micros)
+      .Set("rows_scanned", static_cast<int64_t>(p.rows_scanned))
+      .Set("rows_matched", static_cast<int64_t>(p.rows_matched))
+      .Set("blocks_scanned", static_cast<int64_t>(p.blocks_scanned))
+      .Set("blocks_time_pruned", static_cast<int64_t>(p.blocks_time_pruned))
+      .Set("blocks_zone_pruned", static_cast<int64_t>(p.blocks_zone_pruned))
+      .Set("bytes_decoded", static_cast<int64_t>(p.bytes_decoded))
+      .Set("leaves_total", static_cast<int64_t>(p.leaves_total))
+      .Set("leaves_responded", static_cast<int64_t>(p.leaves_responded));
+  if (exporter->ExportQueryRow(std::move(row)).ok()) {
+    metrics.slow_queries_logged->Add(1);
+  }
 }
 
 double Aggregator::AvailableFraction() const {

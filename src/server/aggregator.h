@@ -1,10 +1,14 @@
 #ifndef SCUBA_SERVER_AGGREGATOR_H_
 #define SCUBA_SERVER_AGGREGATOR_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "query/query.h"
+#include "query/query_context.h"
 #include "query/result.h"
 #include "server/leaf_server.h"
 #include "util/status.h"
@@ -17,6 +21,12 @@ namespace scuba {
 /// restarting simply do not contribute — "Scuba can and does return
 /// partial query results when not all servers are available" (§1). The
 /// result's leaves_total / leaves_responded expose how partial it is.
+///
+/// The aggregator is also where a query's observability begins: Execute
+/// assigns the query id, makes the trace-sampling decision, threads the
+/// QueryContext through every leaf, stamps the merged QueryProfile, feeds
+/// the latency histograms, and hands slow/sampled queries to a leaf's
+/// StatsExporter for the self-hosted `__scuba_queries` log.
 class Aggregator {
  public:
   Aggregator() = default;
@@ -34,17 +44,69 @@ class Aggregator {
   LeafServer* leaf(size_t i) { return leaves_[i]; }
 
   /// Fans the query out to every registered leaf and merges the partials.
-  /// Individual leaf Unavailable states are recorded (partial result),
-  /// not propagated; real query errors are propagated.
+  /// A leaf's Unavailable is recorded (partial result + its id in
+  /// profile().unavailable_leaves), not propagated; a real query error is
+  /// propagated prefixed with the offending leaf's id.
   /// With parallel fan-out enabled, leaves execute on a shared worker pool
   /// (§2: "the aggregator servers distribute a query to all leaves and
   /// then aggregate the results as they arrive from the leaves"); partials
   /// merge in leaf order, so the result matches the sequential fan-out.
+  ///
+  /// This overload creates the QueryContext itself: a fresh query id, and
+  /// the 1-in-N trace sampling decision (never for `__scuba*` system
+  /// tables). The last sampled timeline is retrievable via
+  /// LastSampledTraceJson().
   StatusOr<QueryResult> Execute(const Query& query);
+
+  /// Same, with a caller-supplied context (tests and benches pass their
+  /// own PhaseTracer to capture one specific query's timeline). The merged
+  /// result's profile is stamped with ctx.query_id and the measured wall
+  /// time; latency histograms and the slow-query log still apply.
+  StatusOr<QueryResult> Execute(const Query& query, const QueryContext& ctx);
 
   /// Enables/disables threaded fan-out (default: sequential — the leaves
   /// on one machine share one core in this reproduction's benches).
   void SetParallelFanout(bool parallel) { parallel_fanout_ = parallel; }
+
+  /// Trace-sample every Nth non-system query (0 = never, the default).
+  /// The first query after enabling is sampled, then every Nth.
+  void SetTraceSampling(uint64_t every_n) {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    trace_sample_every_n_ = every_n;
+    trace_counter_ = 0;
+  }
+
+  /// Slow-query log policy: a non-system query slower than
+  /// `threshold_micros` (0 = never), or every `sample_every_n`-th
+  /// non-system query (0 = never), gets one row in `__scuba_queries` via
+  /// the first live leaf's StatsExporter.
+  void SetSlowQueryLog(int64_t threshold_micros, uint64_t sample_every_n) {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    slow_query_threshold_micros_ = threshold_micros;
+    slow_query_sample_every_n_ = sample_every_n;
+    slow_query_counter_ = 0;
+  }
+
+  /// JSON timeline (PhaseTracer::ToJson) of the most recent
+  /// trace-sampled query; empty when none has been sampled yet.
+  std::string LastSampledTraceJson() const {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    return last_trace_json_;
+  }
+
+  /// What the dashboard's query panel shows beyond the registry
+  /// histograms: total queries through this aggregator and the slowest
+  /// recent (non-system) query.
+  struct QueryPanelData {
+    uint64_t queries = 0;
+    uint64_t slowest_query_id = 0;
+    int64_t slowest_latency_micros = 0;
+    std::string slowest_fingerprint;
+  };
+  QueryPanelData SampleQueryPanel() const {
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    return panel_;
+  }
 
   /// Fraction of leaves currently answering queries, in [0, 1].
   double AvailableFraction() const;
@@ -54,13 +116,31 @@ class Aggregator {
   /// busy workers rather than spawning a thread per leaf.
   static constexpr size_t kMaxFanoutThreads = 8;
 
-  StatusOr<QueryResult> ExecuteSequential(const Query& query);
-  StatusOr<QueryResult> ExecuteParallel(const Query& query);
+  /// Fan-out + merge, spans, per-leaf error attribution. Does not stamp
+  /// wall time or touch the latency/slow-log policy (Execute does).
+  StatusOr<QueryResult> ExecuteInternal(const Query& query,
+                                        const QueryContext& ctx);
+  /// Latency histograms, slow-query log, query panel. `system` queries
+  /// (against `__scuba*` tables) skip the per-table histogram, the log,
+  /// and the panel — the self-amplification guard.
+  void RecordQueryStats(const Query& query, const QueryResult& result,
+                        int64_t wall_micros, bool system);
 
   std::vector<LeafServer*> leaves_;
   bool parallel_fanout_ = false;
   /// Shared across queries; created by the first parallel execution.
   std::unique_ptr<ThreadPool> fanout_pool_;
+
+  /// Guards the observability knobs and their counters (queries can run
+  /// concurrently through one aggregator).
+  mutable std::mutex obs_mutex_;
+  uint64_t trace_sample_every_n_ = 0;
+  uint64_t trace_counter_ = 0;
+  int64_t slow_query_threshold_micros_ = 0;
+  uint64_t slow_query_sample_every_n_ = 0;
+  uint64_t slow_query_counter_ = 0;
+  std::string last_trace_json_;
+  QueryPanelData panel_;
 };
 
 }  // namespace scuba

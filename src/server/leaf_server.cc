@@ -254,6 +254,11 @@ Status LeafServer::AddRowsLocked(const std::string& table,
 }
 
 StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query) {
+  return ExecuteQuery(query, QueryContext{});
+}
+
+StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query,
+                                               const QueryContext& ctx) {
   std::lock_guard<std::mutex> lock(mutex_);
   ServerMetrics& metrics = ServerMetrics::Get();
   if (!leaf_state_.CanAcceptQueries()) {
@@ -264,12 +269,23 @@ StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query) {
                                ")");
   }
   metrics.queries->Add(1);
+  // The leaf's whole execution under one span; on a parallel fan-out this
+  // runs on a pool worker with an empty span stack, so it attaches under
+  // the aggregator's fan-out root via the explicit parent.
+  obs::PhaseTracer::Span leaf_span(
+      ctx.tracer, ctx.parent_span,
+      "leaf " + std::to_string(config_.leaf_id) + " execute");
+  Stopwatch leaf_watch;
+
   const Table* table = leaf_map_.GetTable(query.table);
   if (table == nullptr) {
     // This leaf holds no fraction of the table: empty (not an error).
     QueryResult empty(query.aggregates);
     empty.leaves_total = 1;
     empty.leaves_responded = 1;
+    empty.profile().leaves_total = 1;
+    empty.profile().leaves_responded = 1;
+    empty.profile().leaf_execute_micros = leaf_watch.ElapsedMicros();
     return empty;
   }
   auto ts_it = table_states_.find(query.table);
@@ -277,12 +293,21 @@ StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query) {
     return Status::Unavailable("table '" + query.table +
                                "' not accepting queries");
   }
+  // Executor-level spans (prune / per-block scans / merge) nest under the
+  // leaf span: on this thread via the open-span stack, on scan workers via
+  // the explicit parent.
+  QueryContext leaf_ctx = ctx;
+  leaf_ctx.parent_span = leaf_span.id();
   LeafExecutor::ExecOptions options;
   options.pool = query_pool_.get();
+  options.ctx = &leaf_ctx;
   SCUBA_ASSIGN_OR_RETURN(QueryResult result,
                          LeafExecutor::Execute(*table, query, options));
   result.leaves_total = 1;
   result.leaves_responded = 1;
+  result.profile().leaves_total = 1;
+  result.profile().leaves_responded = 1;
+  result.profile().leaf_execute_micros = leaf_watch.ElapsedMicros();
   return result;
 }
 

@@ -116,6 +116,14 @@ class LeafServer {
   /// (leaves hold fractions of tables; aggregators merge).
   StatusOr<QueryResult> ExecuteQuery(const Query& query);
 
+  /// Same, with the aggregator's observability context: a sampled query
+  /// records a "leaf <id> execute" span (nested under ctx.parent_span)
+  /// covering this leaf's whole execution, and the returned profile
+  /// carries leaf_execute_micros. The context is read-only and may be
+  /// shared across concurrent leaf calls.
+  StatusOr<QueryResult> ExecuteQuery(const Query& query,
+                                     const QueryContext& ctx);
+
   /// Applies retention limits across tables (delete requests). Returns
   /// blocks dropped; 0 when the state forbids deletes.
   size_t ExpireData();

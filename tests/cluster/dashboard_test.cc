@@ -77,5 +77,52 @@ TEST(DashboardTest, ShortTimelineRendersEveryRow) {
   EXPECT_EQ(CountChar(out, '\n'), 3u);
 }
 
+TEST(DashboardTest, QueryPanelRendersCountsAndSlowest) {
+  Dashboard::QueryPanelStats stats;
+  stats.queries = 1234;
+  stats.qps = 41.1;
+  stats.p50_micros = 800;
+  stats.p95_micros = 3100;
+  stats.p99_micros = 9400;
+  stats.slowest_query_id = 87;
+  stats.slowest_latency_micros = 12345;
+  stats.slowest_fingerprint = "events|service==?|count";
+  std::string out = Dashboard::RenderQueryPanel(stats);
+  EXPECT_NE(out.find("queries: 1234 (41.1/s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("p50 0.8 ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("p95 3.1 ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("p99 9.4 ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("slowest: query 87  12.3 ms  events|service==?|count"),
+            std::string::npos)
+      << out;
+}
+
+TEST(DashboardTest, QueryPanelRendersNoneWithoutSlowest) {
+  Dashboard::QueryPanelStats stats;
+  std::string out = Dashboard::RenderQueryPanel(stats);
+  EXPECT_NE(out.find("slowest: (none)"), std::string::npos) << out;
+}
+
+TEST(DashboardTest, CollectQueryPanelSamplesAggregator) {
+  Aggregator aggregator;  // no leaves: queries succeed with empty results
+  Query q;
+  q.table = "events";
+  q.aggregates = {Count()};
+  ASSERT_TRUE(aggregator.Execute(q).ok());
+  ASSERT_TRUE(aggregator.Execute(q).ok());
+
+  Dashboard::QueryPanelStats stats =
+      Dashboard::CollectQueryPanel(aggregator, /*window_seconds=*/2.0);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_DOUBLE_EQ(stats.qps, 1.0);
+  EXPECT_GT(stats.slowest_query_id, 0u);
+  EXPECT_GE(stats.slowest_latency_micros, 0);
+  EXPECT_FALSE(stats.slowest_fingerprint.empty());
+  // The global latency histogram saw at least these two queries.
+  EXPECT_GE(stats.p99_micros, 0.0);
+  std::string out = Dashboard::RenderQueryPanel(stats);
+  EXPECT_NE(out.find("queries: 2 (1.0/s)"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace scuba

@@ -1,0 +1,265 @@
+// QueryProfile: merge rules (associative counters, identity fields kept),
+// JSON/text rendering, executor population (scanned/pruned split, bytes
+// decoded, rows), and bit-identical counters for every scan pool size.
+
+#include "query/query_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "ingest/row_generator.h"
+#include "query/executor.h"
+#include "query/query_context.h"
+#include "util/thread_pool.h"
+
+namespace scuba {
+namespace {
+
+TEST(QueryProfileMerge, SumsCountersKeepsIdentity) {
+  QueryProfile a;
+  a.query_id = 42;
+  a.wall_micros = 1000;
+  a.blocks_scanned = 3;
+  a.blocks_time_pruned = 1;
+  a.blocks_zone_pruned = 2;
+  a.rows_scanned = 100;
+  a.rows_matched = 10;
+  a.bytes_decoded = 800;
+  a.leaves_total = 1;
+  a.leaves_responded = 1;
+  a.prune_micros = 5;
+  a.decode_micros = 7;
+  a.kernel_micros = 9;
+  a.merge_micros = 2;
+  a.leaf_execute_micros = 30;
+  a.fanout_queue_wait_micros = 4;
+
+  QueryProfile b = a;
+  b.query_id = 99;
+  b.wall_micros = 7777;
+  b.unavailable_leaves = {6};
+
+  a.Merge(b);
+  EXPECT_EQ(a.query_id, 42u);            // identity kept
+  EXPECT_EQ(a.wall_micros, 1000);        // aggregator-stamped, kept
+  EXPECT_EQ(a.blocks_scanned, 6u);
+  EXPECT_EQ(a.blocks_time_pruned, 2u);
+  EXPECT_EQ(a.blocks_zone_pruned, 4u);
+  EXPECT_EQ(a.rows_scanned, 200u);
+  EXPECT_EQ(a.rows_matched, 20u);
+  EXPECT_EQ(a.bytes_decoded, 1600u);
+  EXPECT_EQ(a.leaves_total, 2u);
+  EXPECT_EQ(a.leaves_responded, 2u);
+  EXPECT_EQ(a.prune_micros, 10);
+  EXPECT_EQ(a.decode_micros, 14);
+  EXPECT_EQ(a.kernel_micros, 18);
+  EXPECT_EQ(a.merge_micros, 4);
+  EXPECT_EQ(a.leaf_execute_micros, 60);
+  EXPECT_EQ(a.fanout_queue_wait_micros, 8);
+  ASSERT_EQ(a.unavailable_leaves.size(), 1u);
+  EXPECT_EQ(a.unavailable_leaves[0], 6u);
+}
+
+TEST(QueryProfileMerge, AssociativeOverCounters) {
+  auto make = [](uint64_t n) {
+    QueryProfile p;
+    p.blocks_scanned = n;
+    p.rows_scanned = 10 * n;
+    p.bytes_decoded = 100 * n;
+    p.unavailable_leaves = {static_cast<uint32_t>(n)};
+    return p;
+  };
+  QueryProfile left = make(1);
+  QueryProfile bc = make(2);
+  bc.Merge(make(3));
+  left.Merge(bc);  // 1 + (2 + 3)
+
+  QueryProfile right = make(1);
+  right.Merge(make(2));
+  right.Merge(make(3));  // (1 + 2) + 3
+
+  EXPECT_EQ(left.blocks_scanned, right.blocks_scanned);
+  EXPECT_EQ(left.rows_scanned, right.rows_scanned);
+  EXPECT_EQ(left.bytes_decoded, right.bytes_decoded);
+  EXPECT_EQ(left.unavailable_leaves, right.unavailable_leaves);
+}
+
+TEST(QueryProfileRender, JsonHasEveryField) {
+  QueryProfile p;
+  p.query_id = 7;
+  p.unavailable_leaves = {3, 5};
+  std::string json = p.ToJson();
+  for (const char* key :
+       {"query_id", "wall_micros", "blocks_scanned", "blocks_time_pruned",
+        "blocks_zone_pruned", "rows_scanned", "rows_matched", "bytes_decoded",
+        "leaves_total", "leaves_responded", "unavailable_leaves",
+        "prune_micros", "decode_micros", "kernel_micros", "merge_micros",
+        "leaf_execute_micros", "fanout_queue_wait_micros"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << key;
+  }
+  EXPECT_NE(json.find("\"unavailable_leaves\": [3, 5]"), std::string::npos);
+}
+
+TEST(QueryProfileRender, TextReadsLikeExplainAnalyze) {
+  QueryProfile p;
+  p.query_id = 12;
+  p.wall_micros = 12345;
+  p.blocks_scanned = 5;
+  p.blocks_time_pruned = 10;
+  p.blocks_zone_pruned = 1;
+  p.rows_scanned = 40960;
+  p.rows_matched = 512;
+  p.leaves_total = 4;
+  p.leaves_responded = 3;
+  p.unavailable_leaves = {2};
+  std::string text = p.ToText();
+  EXPECT_NE(text.find("query 12"), std::string::npos);
+  EXPECT_NE(text.find("3/4 leaves"), std::string::npos);
+  EXPECT_NE(text.find("unavailable: 2"), std::string::npos);
+  EXPECT_NE(text.find("10 time-pruned"), std::string::npos);
+  EXPECT_NE(text.find("1 zone-pruned"), std::string::npos);
+  EXPECT_NE(text.find("512 matched"), std::string::npos);
+}
+
+// --- executor population ---------------------------------------------------
+
+// 6 sealed blocks + a write buffer; blocks seal in time order so both the
+// header time range and the status zone map can prune.
+std::unique_ptr<Table> BuildTable() {
+  auto table = std::make_unique<Table>("service_logs");
+  RowGeneratorConfig config;
+  config.seed = 17;
+  config.rows_per_second = 1000;
+  RowGenerator gen(config);
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_TRUE(table->AddRows(gen.NextBatch(1200), gen.current_time()).ok());
+    EXPECT_TRUE(table->SealWriteBuffer(0).ok());
+  }
+  EXPECT_TRUE(table->AddRows(gen.NextBatch(300), gen.current_time()).ok());
+  return table;
+}
+
+int64_t TableMaxTime(const Table& table) {
+  int64_t max_time = 0;
+  for (size_t b = 0; b < table.num_row_blocks(); ++b) {
+    max_time = std::max(max_time, table.row_block(b)->header().max_time);
+  }
+  return max_time;
+}
+
+TEST(ExecutorProfile, PopulatesCountersAndSplitsPruneKinds) {
+  std::unique_ptr<Table> table = BuildTable();
+
+  // Time range cuts old blocks; the time-column predicate exercises the
+  // zone maps on whatever survives the header check.
+  Query q;
+  q.table = "service_logs";
+  q.begin_time = TableMaxTime(*table) - 2;
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Avg("latency_ms")};
+
+  auto result = LeafExecutor::Execute(*table, q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryProfile& p = result->profile();
+
+  EXPECT_GT(p.blocks_time_pruned, 0u);
+  EXPECT_GT(p.blocks_scanned, 0u);
+  EXPECT_EQ(p.blocks_scanned, result->blocks_scanned);
+  EXPECT_EQ(p.blocks_time_pruned + p.blocks_zone_pruned,
+            result->blocks_pruned);
+  EXPECT_EQ(p.rows_scanned, result->rows_scanned);
+  EXPECT_EQ(p.rows_matched, result->rows_matched);
+  EXPECT_GT(p.rows_scanned, 0u);
+  EXPECT_GT(p.bytes_decoded, 0u);
+  EXPECT_GE(p.prune_micros, 0);
+}
+
+TEST(ExecutorProfile, ZonePruneCountedSeparately) {
+  std::unique_ptr<Table> table = BuildTable();
+  Query q;
+  q.table = "service_logs";
+  // Wide-open time range; the predicate is on the time COLUMN, so only
+  // the zone maps prune.
+  q.predicates = {
+      {kTimeColumnName, CompareOp::kGe, Value(TableMaxTime(*table) - 1)}};
+  q.aggregates = {Count()};
+  auto result = LeafExecutor::Execute(*table, q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->profile().blocks_time_pruned, 0u);
+  EXPECT_GT(result->profile().blocks_zone_pruned, 0u);
+}
+
+TEST(ExecutorProfile, CountersBitIdenticalAcrossThreadCounts) {
+  std::unique_ptr<Table> table = BuildTable();
+  Query q;
+  q.table = "service_logs";
+  q.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})}};
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Avg("latency_ms")};
+
+  auto baseline = LeafExecutor::Execute(*table, q);
+  ASSERT_TRUE(baseline.ok());
+  const QueryProfile& want = baseline->profile();
+
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  for (ThreadPool* pool : {&pool2, &pool8}) {
+    LeafExecutor::ExecOptions options;
+    options.pool = pool;
+    auto result = LeafExecutor::Execute(*table, q, options);
+    ASSERT_TRUE(result.ok());
+    const QueryProfile& got = result->profile();
+    EXPECT_EQ(got.blocks_scanned, want.blocks_scanned);
+    EXPECT_EQ(got.blocks_time_pruned, want.blocks_time_pruned);
+    EXPECT_EQ(got.blocks_zone_pruned, want.blocks_zone_pruned);
+    EXPECT_EQ(got.rows_scanned, want.rows_scanned);
+    EXPECT_EQ(got.rows_matched, want.rows_matched);
+    EXPECT_EQ(got.bytes_decoded, want.bytes_decoded);
+  }
+}
+
+TEST(ExecutorProfile, QueryIdStampedFromContext) {
+  std::unique_ptr<Table> table = BuildTable();
+  Query q;
+  q.table = "service_logs";
+  q.aggregates = {Count()};
+  QueryContext ctx;
+  ctx.query_id = 4711;
+  LeafExecutor::ExecOptions options;
+  options.ctx = &ctx;
+  auto result = LeafExecutor::Execute(*table, q, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->profile().query_id, 4711u);
+}
+
+TEST(QueryContextTest, NextQueryIdMonotoneNonZero) {
+  uint64_t a = NextQueryId();
+  uint64_t b = NextQueryId();
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(QueryFingerprint, ShapeNotLiterals) {
+  Query a;
+  a.table = "events";
+  a.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})}};
+  a.group_by = {"service"};
+  a.aggregates = {Count(), Avg("latency_ms")};
+  Query b = a;
+  b.predicates[0].literal = Value(int64_t{200});  // literal differs
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  Query c = a;
+  c.predicates[0].column = "other";
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(a.Fingerprint().find("events"), std::string::npos);
+  EXPECT_NE(a.Fingerprint().find("status"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scuba

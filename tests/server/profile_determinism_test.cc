@@ -1,0 +1,140 @@
+// The profile determinism contract: merged QueryProfile COUNTERS (blocks,
+// rows, bytes, leaves) are bit-identical regardless of how the work was
+// scheduled — per-leaf scan pool size (num_query_threads 1/2/8), sequential
+// vs parallel aggregator fan-out, and with one leaf Unavailable
+// mid-rollover. Timings sum on merge but are excluded from the contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query_profile.h"
+#include "server/aggregator.h"
+#include "test_util.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+using testing_util::ShmNamespace;
+using testing_util::TempDir;
+
+struct RunConfig {
+  size_t num_query_threads = 1;
+  bool parallel_fanout = false;
+  bool kill_leaf = false;  // shut leaf 1 down before querying
+};
+
+// Builds a fresh 3-leaf cluster with identical data (2 sealed blocks + a
+// live write buffer per leaf, via shm restarts), runs the same query, and
+// returns the merged profile. Every invocation must produce bit-identical
+// counters no matter how RunConfig schedules the work.
+QueryProfile RunCluster(const std::string& tag, const RunConfig& run) {
+  ShmNamespace ns(tag);
+  TempDir dir(tag);
+  std::vector<std::unique_ptr<LeafServer>> leaves;
+  Aggregator aggregator;
+
+  auto make_config = [&](size_t i) {
+    LeafServerConfig config;
+    config.leaf_id = static_cast<uint32_t>(i);
+    config.namespace_prefix = ns.prefix();
+    config.backup_dir = dir.path() + "/leaf_" + std::to_string(i);
+    config.num_query_threads = run.num_query_threads;
+    return config;
+  };
+
+  for (size_t i = 0; i < 3; ++i) {
+    leaves.push_back(std::make_unique<LeafServer>(make_config(i)));
+    EXPECT_TRUE(leaves.back()->Start().ok());
+  }
+  // Two add+restart rounds seal two row blocks per leaf; the final batch
+  // stays in the write buffer so the buffered path is covered too.
+  for (int round = 0; round < 2; ++round) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(leaves[i]
+                      ->AddRows("events", MakeRows(800, 1000 + 100 * round,
+                                                   17 * (i + 1) + round))
+                      .ok());
+      ShutdownStats stats;
+      EXPECT_TRUE(leaves[i]->ShutdownToSharedMemory(&stats).ok());
+      leaves[i] = std::make_unique<LeafServer>(make_config(i));
+      EXPECT_TRUE(leaves[i]->Start().ok());
+    }
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(
+        leaves[i]->AddRows("events", MakeRows(150, 1300, 31 * (i + 1))).ok());
+    aggregator.AddLeaf(leaves[i].get());
+  }
+
+  if (run.kill_leaf) {
+    ShutdownStats stats;
+    EXPECT_TRUE(leaves[1]->ShutdownToSharedMemory(&stats).ok());
+  }
+  aggregator.SetParallelFanout(run.parallel_fanout);
+
+  Query q;
+  q.table = "events";
+  q.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})}};
+  q.group_by = {"service"};
+  q.aggregates = {Count(), Avg("latency_ms")};
+  auto result = aggregator.Execute(q);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->profile() : QueryProfile{};
+}
+
+void ExpectSameCounters(const QueryProfile& got, const QueryProfile& want,
+                        const std::string& label) {
+  EXPECT_EQ(got.blocks_scanned, want.blocks_scanned) << label;
+  EXPECT_EQ(got.blocks_time_pruned, want.blocks_time_pruned) << label;
+  EXPECT_EQ(got.blocks_zone_pruned, want.blocks_zone_pruned) << label;
+  EXPECT_EQ(got.rows_scanned, want.rows_scanned) << label;
+  EXPECT_EQ(got.rows_matched, want.rows_matched) << label;
+  EXPECT_EQ(got.bytes_decoded, want.bytes_decoded) << label;
+  EXPECT_EQ(got.leaves_total, want.leaves_total) << label;
+  EXPECT_EQ(got.leaves_responded, want.leaves_responded) << label;
+  EXPECT_EQ(got.unavailable_leaves, want.unavailable_leaves) << label;
+}
+
+TEST(ProfileDeterminism, CountersIdenticalAcrossSchedules) {
+  QueryProfile baseline = RunCluster("pdet_base", RunConfig{});
+  EXPECT_GT(baseline.rows_scanned, 0u);
+  EXPECT_GT(baseline.blocks_scanned, 0u);
+  EXPECT_EQ(baseline.leaves_responded, 3u);
+
+  int n = 0;
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    for (bool parallel : {false, true}) {
+      RunConfig run;
+      run.num_query_threads = threads;
+      run.parallel_fanout = parallel;
+      std::string label = "threads=" + std::to_string(threads) +
+                          (parallel ? " parallel" : " sequential");
+      QueryProfile got =
+          RunCluster("pdet_" + std::to_string(n++), run);
+      ExpectSameCounters(got, baseline, label);
+    }
+  }
+}
+
+TEST(ProfileDeterminism, CountersIdenticalWithLeafUnavailableMidRollover) {
+  RunConfig seq;
+  seq.kill_leaf = true;
+  QueryProfile baseline = RunCluster("pdet_kill_seq", seq);
+  EXPECT_EQ(baseline.leaves_responded, 2u);
+  ASSERT_EQ(baseline.unavailable_leaves.size(), 1u);
+  EXPECT_EQ(baseline.unavailable_leaves[0], 1u);
+  EXPECT_GT(baseline.rows_scanned, 0u);
+
+  RunConfig par = seq;
+  par.parallel_fanout = true;
+  par.num_query_threads = 8;
+  QueryProfile got = RunCluster("pdet_kill_par", par);
+  ExpectSameCounters(got, baseline, "parallel+8threads vs sequential");
+}
+
+}  // namespace
+}  // namespace scuba

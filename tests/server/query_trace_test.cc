@@ -1,0 +1,195 @@
+// Distributed query tracing: a sampled query's span timeline covers the
+// aggregator's wall time (>90%, sequential AND parallel fan-out), the span
+// tree has the fanout -> per-leaf -> per-block shape, sampling knobs drive
+// LastSampledTraceJson, and unsampled queries record nothing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "query/query_context.h"
+#include "server/aggregator.h"
+#include "test_util.h"
+#include "util/clock.h"
+
+namespace scuba {
+namespace {
+
+using testing_util::MakeRows;
+using testing_util::ShmNamespace;
+using testing_util::TempDir;
+
+class QueryTraceTest : public ::testing::Test {
+ protected:
+  QueryTraceTest() : ns_("qtrace"), dir_("qtrace") {}
+
+  void StartLeaves(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      LeafServerConfig config;
+      config.leaf_id = static_cast<uint32_t>(i);
+      config.namespace_prefix = ns_.prefix();
+      config.backup_dir = dir_.path() + "/leaf_" + std::to_string(i);
+      leaves_.push_back(std::make_unique<LeafServer>(config));
+      ASSERT_TRUE(leaves_.back()->Start().ok());
+      aggregator_.AddLeaf(leaves_.back().get());
+      ASSERT_TRUE(
+          leaves_.back()->AddRows("events", MakeRows(400, 1000 + i)).ok());
+    }
+  }
+
+  // Clean-restarts every leaf through shared memory: shutdown seals the
+  // write buffers, so the successors hold sealed row blocks and sampled
+  // queries produce the full block/decode/kernel span shape.
+  void SealViaRestart() {
+    std::vector<LeafServer*> fresh;
+    for (auto& leaf : leaves_) {
+      ShutdownStats stats;
+      ASSERT_TRUE(leaf->ShutdownToSharedMemory(&stats).ok());
+      LeafServerConfig config = leaf->config();
+      leaf = std::make_unique<LeafServer>(config);
+      ASSERT_TRUE(leaf->Start().ok());
+      fresh.push_back(leaf.get());
+    }
+    aggregator_.SetLeaves(std::move(fresh));
+  }
+
+  Query GroupQuery() {
+    Query q;
+    q.table = "events";
+    q.group_by = {"service"};
+    q.aggregates = {Count(), Avg("latency_ms")};
+    return q;
+  }
+
+  ShmNamespace ns_;
+  TempDir dir_;
+  std::vector<std::unique_ptr<LeafServer>> leaves_;
+  Aggregator aggregator_;
+};
+
+int CountNamed(const std::vector<obs::TraceSpan>& spans,
+               const std::string& name) {
+  int n = 0;
+  for (const auto& s : spans) {
+    if (s.name == name) ++n;
+  }
+  return n;
+}
+
+int FindNamed(const std::vector<obs::TraceSpan>& spans,
+              const std::string& name) {
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// The acceptance bar: root spans, recorded back to back on the aggregator
+// thread, must account for >90% of the measured wall time around Execute.
+void ExpectCoverage(Aggregator& aggregator, const Query& q, size_t leaves,
+                    const std::string& label) {
+  obs::PhaseTracer tracer;
+  QueryContext ctx;
+  ctx.query_id = NextQueryId();
+  ctx.sampled = true;
+  ctx.tracer = &tracer;
+
+  Stopwatch wall;
+  auto result = aggregator.Execute(q, ctx);
+  int64_t wall_micros = wall.ElapsedMicros();
+  ASSERT_TRUE(result.ok()) << label << ": " << result.status().ToString();
+
+  EXPECT_GE(tracer.RootCoverageMicros(),
+            static_cast<int64_t>(0.9 * static_cast<double>(wall_micros)))
+      << label << ": wall " << wall_micros << "us, roots "
+      << tracer.RootCoverageMicros() << "us";
+
+  std::vector<obs::TraceSpan> spans = tracer.Snapshot();
+  int fanout = FindNamed(spans, "fanout");
+  ASSERT_GE(fanout, 0) << label;
+  EXPECT_EQ(spans[fanout].parent, -1) << label;
+  EXPECT_GE(FindNamed(spans, "merge"), 0) << label;
+
+  // Every leaf's execute span hangs under the fanout root — on worker
+  // threads this only happens via the explicit-parent attach.
+  int leaf_spans = 0;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name.rfind("leaf ", 0) == 0) {
+      ++leaf_spans;
+      EXPECT_EQ(spans[i].parent, fanout) << label << ": " << spans[i].name;
+    }
+  }
+  EXPECT_EQ(leaf_spans, static_cast<int>(leaves)) << label;
+
+  // Block scans nest under their leaf span (depth >= 2).
+  int block = FindNamed(spans, "block 0");
+  ASSERT_GE(block, 0) << label;
+  EXPECT_GE(spans[block].depth, 2) << label;
+  ASSERT_GE(spans[block].parent, 0) << label;
+  EXPECT_EQ(spans[spans[block].parent].name.rfind("leaf ", 0), 0u) << label;
+
+  // Synthesized decode/kernel children ride under the block spans.
+  EXPECT_GT(CountNamed(spans, "decode"), 0) << label;
+  EXPECT_GT(CountNamed(spans, "kernel"), 0) << label;
+}
+
+TEST_F(QueryTraceTest, SequentialFanoutCoversWall) {
+  StartLeaves(3);
+  SealViaRestart();
+  ExpectCoverage(aggregator_, GroupQuery(), 3, "sequential");
+}
+
+TEST_F(QueryTraceTest, ParallelFanoutCoversWall) {
+  StartLeaves(3);
+  SealViaRestart();
+  aggregator_.SetParallelFanout(true);
+  ExpectCoverage(aggregator_, GroupQuery(), 3, "parallel");
+}
+
+TEST_F(QueryTraceTest, SamplingEveryNDrivesLastTrace) {
+  StartLeaves(2);
+  EXPECT_TRUE(aggregator_.LastSampledTraceJson().empty());
+
+  aggregator_.SetTraceSampling(2);
+  ASSERT_TRUE(aggregator_.Execute(GroupQuery()).ok());  // 1st: sampled
+  std::string first = aggregator_.LastSampledTraceJson();
+  EXPECT_NE(first.find("\"spans\""), std::string::npos);
+  EXPECT_NE(first.find("fanout"), std::string::npos);
+
+  ASSERT_TRUE(aggregator_.Execute(GroupQuery()).ok());  // 2nd: not sampled
+  EXPECT_EQ(aggregator_.LastSampledTraceJson(), first);
+
+  ASSERT_TRUE(aggregator_.Execute(GroupQuery()).ok());  // 3rd: sampled again
+  EXPECT_NE(aggregator_.LastSampledTraceJson(), first);
+}
+
+TEST_F(QueryTraceTest, UnsampledQueryRecordsNoSpans) {
+  StartLeaves(2);
+  // No tracer in the context: the leaf and executor instrumentation must
+  // all no-op through the null tracer.
+  QueryContext ctx;
+  ctx.query_id = NextQueryId();
+  auto result = aggregator_.Execute(GroupQuery(), ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(aggregator_.LastSampledTraceJson().empty());
+  // Profile counters still fill in even without a tracer.
+  EXPECT_GT(result->profile().rows_scanned, 0u);
+  EXPECT_EQ(result->profile().leaves_responded, 2u);
+}
+
+TEST_F(QueryTraceTest, SystemTablesNeverSampled) {
+  StartLeaves(2);
+  aggregator_.SetTraceSampling(1);  // sample everything...
+  Query q;
+  q.table = "__scuba_queries";
+  q.aggregates = {Count()};
+  ASSERT_TRUE(aggregator_.Execute(q).ok());
+  // ...except system tables.
+  EXPECT_TRUE(aggregator_.LastSampledTraceJson().empty());
+}
+
+}  // namespace
+}  // namespace scuba
