@@ -15,6 +15,17 @@
 //      QueryProfile) vs trace-sampled (PhaseTracer attached, spans per
 //      block); emits the overhead percentage, the sampled profile, and
 //      the span timeline.
+//   E. Aggregator result cache (E16): a dashboard's bucketed query
+//      re-issued over a fixed window against a 2-leaf fleet, with the
+//      fingerprint-keyed partial-result cache off vs on. Sealed buckets
+//      serve from cache; only the write-buffer tail rescans. Reports QPS
+//      both ways and the decode_micros share; results must be
+//      bit-identical (digest-checked).
+//
+// Every row carries `result_digest`, a CRC32C over the finalized rows
+// (group keys + aggregate bit patterns, in Finalize's deterministic
+// order): ci/check.sh re-runs the bench under SCUBA_FORCE_SCALAR=1 and
+// asserts the digests match the SIMD run's.
 //
 // Thread speedups are hardware-dependent: on a single-core host the pool
 // serializes and shows ~1x; expect the multi-thread gains on real cores.
@@ -37,6 +48,9 @@
 #include "obs/trace.h"
 #include "query/executor.h"
 #include "query/query_context.h"
+#include "server/aggregator.h"
+#include "server/leaf_server.h"
+#include "util/crc32c.h"
 #include "util/thread_pool.h"
 
 namespace scuba {
@@ -130,9 +144,42 @@ void CheckAgainstScalar(const char* label, const QueryResult& scalar,
   }
 }
 
+// Order-independent of engine, order-dependent of content: CRC32C over the
+// finalized rows (Finalize sorts by the order-preserving key encoding), a
+// type tag + canonical bytes per group-key value and the raw bit pattern
+// of every aggregate. Engines that produce bit-identical results — the
+// SIMD/scalar contract, and the cache-on/cache-off contract — produce
+// equal digests.
+uint32_t ResultDigest(const QueryResult& result,
+                      const std::vector<Aggregate>& aggregates) {
+  uint32_t crc = 0;
+  auto add = [&crc](const void* p, size_t n) {
+    crc = crc32c::Extend(crc, static_cast<const uint8_t*>(p), n);
+  };
+  for (const ResultRow& row : result.Finalize(aggregates)) {
+    for (const Value& v : row.group_key) {
+      uint8_t tag = static_cast<uint8_t>(v.index());
+      add(&tag, 1);
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        add(i, sizeof(*i));
+      } else if (const auto* d = std::get_if<double>(&v)) {
+        add(d, sizeof(*d));
+      } else {
+        const std::string& s = std::get<std::string>(v);
+        uint64_t len = s.size();
+        add(&len, sizeof(len));
+        add(s.data(), s.size());
+      }
+    }
+    for (double a : row.aggregates) add(&a, sizeof(a));
+  }
+  return crc;
+}
+
 void Emit(JsonWriter* json, const std::string& section,
           const std::string& name, const std::string& engine, size_t threads,
-          const Timing& t, double speedup) {
+          const Timing& t, double speedup,
+          const std::vector<Aggregate>& aggregates) {
   json->Row();
   json->Field("section", section);
   json->Field("case", name);
@@ -145,6 +192,8 @@ void Emit(JsonWriter* json, const std::string& section,
   json->Field("blocks_scanned", t.result.blocks_scanned);
   json->Field("blocks_pruned", t.result.blocks_pruned);
   json->Field("groups", static_cast<uint64_t>(t.result.num_groups()));
+  json->Field("result_digest",
+              static_cast<uint64_t>(ResultDigest(t.result, aggregates)));
   json->RawField("profile", t.result.profile().ToJson());
 }
 
@@ -229,8 +278,10 @@ int Run(const std::string& json_path, bool smoke) {
     double speedup = vec.millis > 0 ? scalar.millis / vec.millis : 0.0;
     std::printf("%-32s %12.3f %12.3f %8.2fx\n", c.name, scalar.millis,
                 vec.millis, speedup);
-    Emit(&json, "query_set", c.name, "scalar", 1, scalar, 1.0);
-    Emit(&json, "query_set", c.name, "vectorized", 1, vec, speedup);
+    Emit(&json, "query_set", c.name, "scalar", 1, scalar, 1.0,
+         c.query.aggregates);
+    Emit(&json, "query_set", c.name, "vectorized", 1, vec, speedup,
+         c.query.aggregates);
   }
 
   // --- B: string-predicate selectivity x threads ---------------------------
@@ -262,7 +313,8 @@ int Run(const std::string& json_path, bool smoke) {
                      static_cast<double>(scalar.result.rows_scanned);
     std::printf("%-24s %9s %12.3f %8.2fx %8.1f%%\n", sc.name, "scalar",
                 scalar.millis, 1.0, matched);
-    Emit(&json, "selectivity_sweep", sc.name, "scalar", 1, scalar, 1.0);
+    Emit(&json, "selectivity_sweep", sc.name, "scalar", 1, scalar, 1.0,
+         q.aggregates);
 
     for (const PoolRow& p : pools) {
       Timing vec = TimeVectorized(*table, q, p.pool);
@@ -271,7 +323,7 @@ int Run(const std::string& json_path, bool smoke) {
       std::printf("%-24s %9zu %12.3f %8.2fx %8.1f%%\n", sc.name, p.threads,
                   vec.millis, speedup, matched);
       Emit(&json, "selectivity_sweep", sc.name, "vectorized", p.threads, vec,
-           speedup);
+           speedup, q.aggregates);
     }
   }
 
@@ -306,8 +358,10 @@ int Run(const std::string& json_path, bool smoke) {
         "vector: %.3f ms, %llu/%llu blocks pruned (%.0f%%), %.2fx\n",
         vec.millis, static_cast<unsigned long long>(vec.result.blocks_pruned),
         static_cast<unsigned long long>(total), 100.0 * pruned_frac, speedup);
-    Emit(&json, "zone_map", "zone_map_prune", "scalar", 1, scalar, 1.0);
-    Emit(&json, "zone_map", "zone_map_prune", "vectorized", 1, vec, speedup);
+    Emit(&json, "zone_map", "zone_map_prune", "scalar", 1, scalar, 1.0,
+         q.aggregates);
+    Emit(&json, "zone_map", "zone_map_prune", "vectorized", 1, vec, speedup,
+         q.aggregates);
     // A smoke run only has 2 blocks, so the 90% bar does not apply.
     if (!smoke && pruned_frac < 0.9) {
       std::fprintf(stderr, "zone maps pruned only %.0f%% of blocks\n",
@@ -357,12 +411,127 @@ int Run(const std::string& json_path, bool smoke) {
                 sampled.millis, overhead_pct);
     std::printf("%s\n", sampled.result.profile().ToText().c_str());
     Emit(&json, "observability_overhead", "group_by_service_avg_latency",
-         "vectorized_unsampled", 1, unsampled, 1.0);
+         "vectorized_unsampled", 1, unsampled, 1.0, q.aggregates);
     Emit(&json, "observability_overhead", "group_by_service_avg_latency",
-         "vectorized_sampled", 1, sampled, 1.0);
+         "vectorized_sampled", 1, sampled, 1.0, q.aggregates);
     json.Field("sampling_overhead_pct", overhead_pct);
     json.Section("profile", sampled.result.profile().ToJson());
     json.Section("trace", tracer->ToJson());
+  }
+
+  // --- E: aggregator result cache (E16) ------------------------------------
+  // The dashboard-refresh pattern: the same bucketed query over a fixed
+  // window, re-issued against a 2-leaf fleet. With the cache on, every
+  // whole sealed bucket serves its per-leaf partial from memory after the
+  // first pass; only the unsealed write-buffer tail rescans.
+  {
+    bench_util::BenchEnv env("e16");
+    const size_t kLeaves = 2;
+    std::vector<std::unique_ptr<LeafServer>> leaves;
+    std::vector<LeafServer*> leaf_ptrs;
+    for (size_t i = 0; i < kLeaves; ++i) {
+      LeafServerConfig config;
+      config.leaf_id = static_cast<uint32_t>(i);
+      config.namespace_prefix = env.prefix();
+      config.backup_dir = env.dir() + "/leaf_" + std::to_string(i);
+      std::error_code ec;
+      std::filesystem::create_directories(config.backup_dir, ec);
+      if (ec) std::abort();
+      leaves.push_back(std::make_unique<LeafServer>(config));
+      if (!leaves.back()->Start().ok()) std::abort();
+      leaf_ptrs.push_back(leaves.back().get());
+    }
+    RowGeneratorConfig config;
+    config.seed = 3;
+    config.rows_per_second = 2000;
+    RowGenerator gen(config);
+    for (size_t i = 0; i < g_rows / 8192; ++i) {
+      if (!leaves[i % kLeaves]
+               ->AddRows("service_logs", gen.NextBatch(8192))
+               .ok()) {
+        std::abort();
+      }
+    }
+
+    Query q;
+    q.table = "service_logs";
+    q.begin_time = config.start_time;
+    q.end_time = gen.current_time();  // fixed window, as a dashboard refresh
+    q.time_bucket_seconds = 60;
+    q.predicates = {{"status", CompareOp::kGe, Value(int64_t{500})}};
+    q.group_by = {"service"};
+    q.aggregates = {Count(), Avg("latency_ms")};
+
+    const int iters = smoke ? 3 : 50;
+    auto repeat = [&](Aggregator* agg) {
+      Timing t;
+      auto once = [&] {
+        auto result = agg->Execute(q);
+        if (!result.ok()) {
+          std::fprintf(stderr, "e16: %s\n",
+                       result.status().ToString().c_str());
+          std::abort();
+        }
+        return *std::move(result);
+      };
+      t.result = once();  // warm-up (fills the cache when enabled)
+      t.millis = bench_util::TimedMillis([&] {
+        for (int i = 0; i < iters; ++i) t.result = once();
+      });
+      return t;
+    };
+
+    Aggregator agg_off;
+    agg_off.SetLeaves(leaf_ptrs);
+    Timing off = repeat(&agg_off);
+
+    Aggregator agg_on;
+    agg_on.EnableResultCache(64ull << 20);
+    agg_on.SetLeaves(leaf_ptrs);
+    Timing on = repeat(&agg_on);
+
+    uint32_t digest_off = ResultDigest(off.result, q.aggregates);
+    uint32_t digest_on = ResultDigest(on.result, q.aggregates);
+    if (digest_off != digest_on) {
+      std::fprintf(stderr, "e16: cached result digest mismatch (%08x vs %08x)\n",
+                   digest_off, digest_on);
+      std::abort();
+    }
+
+    double qps_off = off.millis > 0 ? 1000.0 * iters / off.millis : 0.0;
+    double qps_on = on.millis > 0 ? 1000.0 * iters / on.millis : 0.0;
+    double speedup = on.millis > 0 ? off.millis / on.millis : 0.0;
+    auto decode_share = [](const QueryResult& r) {
+      return r.profile().wall_micros > 0
+                 ? 100.0 * static_cast<double>(r.profile().decode_micros) /
+                       static_cast<double>(r.profile().wall_micros)
+                 : 0.0;
+    };
+    ResultCache::Stats cache_stats = agg_on.result_cache()->GetStats();
+    std::printf("\n-- E: aggregator result cache (repeated dashboard) --\n");
+    std::printf("cache off: %8.2f q/s  (decode %4.1f%% of wall)\n", qps_off,
+                decode_share(off.result));
+    std::printf("cache on:  %8.2f q/s  (decode %4.1f%% of wall)  %.2fx\n",
+                qps_on, decode_share(on.result), speedup);
+    std::printf("           %llu bucket hits / %llu misses per query, "
+                "%llu entries, %.1f KB cached\n",
+                static_cast<unsigned long long>(
+                    on.result.profile().cache_hit_buckets),
+                static_cast<unsigned long long>(
+                    on.result.profile().cache_miss_buckets),
+                static_cast<unsigned long long>(cache_stats.entries),
+                static_cast<double>(cache_stats.bytes) / 1024.0);
+    Emit(&json, "result_cache", "repeated_dashboard", "cache_off", 1, off,
+         1.0, q.aggregates);
+    Emit(&json, "result_cache", "repeated_dashboard", "cache_on", 1, on,
+         speedup, q.aggregates);
+    json.Field("cache_qps_off", qps_off);
+    json.Field("cache_qps_on", qps_on);
+    json.Field("cache_speedup", speedup);
+    if (!smoke && on.result.profile().cache_hit_buckets == 0) {
+      std::fprintf(stderr, "e16: cache produced no bucket hits\n");
+      return 1;
+    }
   }
 
   if (!json_path.empty()) {

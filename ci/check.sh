@@ -34,14 +34,14 @@ PROFILE_KEYS = {
     "blocks_zone_pruned", "rows_scanned", "rows_matched", "bytes_decoded",
     "leaves_total", "leaves_responded", "unavailable_leaves", "prune_micros",
     "decode_micros", "kernel_micros", "merge_micros", "leaf_execute_micros",
-    "fanout_queue_wait_micros",
+    "fanout_queue_wait_micros", "cache_hit_buckets", "cache_miss_buckets",
 }
 
 for path in sys.argv[1:]:
     with open(path) as f:
         doc = json.load(f)
     assert doc.get("results"), f"{path}: empty results"
-    assert doc.get("schema_version") == 3, \
+    assert doc.get("schema_version") == 4, \
         f"{path}: missing/unexpected schema_version: {doc.get('schema_version')!r}"
     metrics = doc.get("metrics")
     assert isinstance(metrics, dict), f"{path}: missing metrics block"
@@ -50,7 +50,7 @@ for path in sys.argv[1:]:
     print(f"{path}: OK ({len(doc['results'])} results, "
           f"{len(metrics['counters'])} counters)")
 
-# Schema v3: bench_query rows embed a complete QueryProfile each, plus a
+# Schema v4: bench_query rows embed a complete QueryProfile each, plus a
 # top-level profile + sampled span timeline for the observability leg.
 with open(sys.argv[2]) as f:
     query = json.load(f)
@@ -72,6 +72,35 @@ print(f"{sys.argv[2]}: profile schema OK "
 PYEOF
 
 echo
+echo "=== SIMD/scalar equivalence: forced-scalar rerun must match digests ==="
+SCUBA_FORCE_SCALAR=1 ./build-release/bench/bench_query --smoke \
+  --json "${SMOKE_DIR}/query_scalar.json" >/dev/null
+python3 - "${SMOKE_DIR}/query.json" "${SMOKE_DIR}/query_scalar.json" <<'PYEOF'
+import json, sys
+
+# Every (section, case, engine, threads) row must produce the same result
+# digest whether the packed SIMD kernels ran or SCUBA_FORCE_SCALAR pinned
+# the whole process to the scalar tier: a SIMD kernel may only ever be
+# faster, never different.
+def digests(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc["results"]:
+        key = (row["section"], row["case"], row["engine"], row["threads"])
+        out[key] = (row["result_digest"], row["rows_matched"])
+    return out
+
+simd, scalar = digests(sys.argv[1]), digests(sys.argv[2])
+assert simd.keys() == scalar.keys(), \
+    f"row sets differ: {simd.keys() ^ scalar.keys()}"
+for key in sorted(simd):
+    assert simd[key] == scalar[key], \
+        f"{key}: simd {simd[key]} != forced-scalar {scalar[key]}"
+print(f"{len(simd)} rows digest-identical under SCUBA_FORCE_SCALAR=1")
+PYEOF
+
+echo
 echo "=== Self-stats smoke: __scuba_stats restart rows survive a rollover ==="
 cmake --build build-release -j "${JOBS}" --target selfstats_rollover
 ./build-release/examples/selfstats_rollover
@@ -88,7 +117,7 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCUBA_TSAN=ON \
 cmake --build build-tsan -j "${JOBS}" \
   --target util_test shm_test core_test query_test server_test obs_test
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator|ObsMetrics|ObsTracer|RestartTrace|RestartHeartbeat|StatsExporter|SelfStats|QueryTrace|SlowQueryLog|ProfileDeterminism'
+  -R 'ThreadPool|ParallelFor|ByteBudget|ParallelCopy|ShutdownRestore|Shm|TableSegment|LeafMetadata|ParallelScan|VectorizedDiff|Aggregator|ObsMetrics|ObsTracer|RestartTrace|RestartHeartbeat|StatsExporter|SelfStats|QueryTrace|SlowQueryLog|ProfileDeterminism|PackedKernelFuzz|PackedScan|ResultCache'
 
 echo
 echo "=== OK ==="

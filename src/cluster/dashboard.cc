@@ -98,6 +98,15 @@ Dashboard::QueryPanelStats Dashboard::CollectQueryPanel(
   stats.slowest_query_id = panel.slowest_query_id;
   stats.slowest_latency_micros = panel.slowest_latency_micros;
   stats.slowest_fingerprint = panel.slowest_fingerprint;
+  const ResultCache* cache = aggregator.result_cache();
+  if (cache != nullptr) {
+    ResultCache::Stats cs = cache->GetStats();
+    stats.cache_enabled = true;
+    stats.cache_hits = cs.hits;
+    stats.cache_misses = cs.misses;
+    stats.cache_bytes = cs.bytes;
+    stats.cache_entries = cs.entries;
+  }
   if (window_seconds > 0.0) {
     stats.qps = static_cast<double>(panel.queries) / window_seconds;
   }
@@ -132,6 +141,23 @@ std::string Dashboard::RenderQueryPanel(const QueryPanelStats& stats) {
     out += "slowest: (none)";
   }
   out += '\n';
+  if (stats.cache_enabled) {
+    uint64_t lookups = stats.cache_hits + stats.cache_misses;
+    double hit_pct = lookups > 0 ? 100.0 * static_cast<double>(
+                                       stats.cache_hits) /
+                                       static_cast<double>(lookups)
+                                 : 0.0;
+    char line3[160];
+    std::snprintf(line3, sizeof(line3),
+                  "cache:   hits %llu  misses %llu  (%.1f%%)  "
+                  "%llu entries, %.1f MB",
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  static_cast<unsigned long long>(stats.cache_misses), hit_pct,
+                  static_cast<unsigned long long>(stats.cache_entries),
+                  static_cast<double>(stats.cache_bytes) / (1024.0 * 1024.0));
+    out += line3;
+    out += '\n';
+  }
   return out;
 }
 

@@ -53,6 +53,13 @@ class Dashboard {
     uint64_t slowest_query_id = 0;
     int64_t slowest_latency_micros = 0;
     std::string slowest_fingerprint;
+    // Aggregator result cache (server/result_cache.h); all zero — and the
+    // panel's cache line absent — when the cache is disabled.
+    bool cache_enabled = false;
+    uint64_t cache_hits = 0;          // whole-bucket segments served cached
+    uint64_t cache_misses = 0;        // segments that had to rescan a leaf
+    uint64_t cache_bytes = 0;         // resident cached partials
+    uint64_t cache_entries = 0;
   };
 
   /// Samples the aggregator (panel counters + the global
@@ -61,9 +68,10 @@ class Dashboard {
   static QueryPanelStats CollectQueryPanel(const Aggregator& aggregator,
                                            double window_seconds);
 
-  /// Two-line query panel:
+  /// Query panel; the cache line appears only when the result cache is on:
   ///   queries: 1234 (41.1/s)  p50 0.8 ms  p95 3.1 ms  p99 9.4 ms
   ///   slowest: query 87 12.3 ms  events|service==?|count
+  ///   cache:   hits 960  misses 64  (93.8%)  12 entries, 0.3 MB
   static std::string RenderQueryPanel(const QueryPanelStats& stats);
 };
 

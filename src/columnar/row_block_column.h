@@ -115,6 +115,12 @@ class RowBlockColumn {
   Slice AsSlice() const { return Slice(buffer_.get(), size_); }
   const uint8_t* data() const { return buffer_.get(); }
 
+  /// Raw views of the dictionary and data blobs (still encoded). The
+  /// compressed-domain scan path (query/packed_column) filters directly on
+  /// these without materializing the column.
+  Slice dict_slice() const { return DictSlice(); }
+  Slice data_slice() const { return DataSlice(); }
+
   // Decoders (full column materialization).
   Status DecodeInt64(std::vector<int64_t>* values) const;
   Status DecodeDouble(std::vector<double>* values) const;

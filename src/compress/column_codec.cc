@@ -112,6 +112,7 @@ std::string ChainToString(ChainCode chain) {
       case Stage::kShuffle: out += "shuffle"; break;
       case Stage::kRawStrings: out += "rawstr"; break;
       case Stage::kRawFixed: out += "rawfixed"; break;
+      case Stage::kMiniBlockPack: out += "mbpack"; break;
     }
   }
   return out.empty() ? "none" : out;
@@ -132,15 +133,25 @@ EncodedColumn EncodeInt64(const std::vector<int64_t>& values) {
     AppendPacked(indexes, &out.data);
     out.chain = MakeChain({Stage::kDictionary, Stage::kBitPack});
   } else {
-    std::vector<int64_t> work = values;
-    delta::Encode(&work);
-    int64_t base = work[0];
-    work.erase(work.begin());
-    std::vector<uint64_t> zz = delta::ZigZagAll(work);
-    varint::AppendI64(&out.data, base);
-    AppendPacked(zz, &out.data);
-    out.chain = MakeChain({Stage::kDelta, Stage::kZigZag, Stage::kBitPack});
+    delta::EncodeMiniBlocks(values, &out.data);
+    out.chain =
+        MakeChain({Stage::kDelta, Stage::kZigZag, Stage::kMiniBlockPack});
   }
+  if (MaybeLz4(&out.data)) out.chain = AppendStage(out.chain, Stage::kLz4);
+  return out;
+}
+
+EncodedColumn EncodeInt64Legacy(const std::vector<int64_t>& values) {
+  EncodedColumn out;
+  if (values.empty()) return out;
+  std::vector<int64_t> work = values;
+  delta::Encode(&work);
+  int64_t base = work[0];
+  work.erase(work.begin());
+  std::vector<uint64_t> zz = delta::ZigZagAll(work);
+  varint::AppendI64(&out.data, base);
+  AppendPacked(zz, &out.data);
+  out.chain = MakeChain({Stage::kDelta, Stage::kZigZag, Stage::kBitPack});
   if (MaybeLz4(&out.data)) out.chain = AppendStage(out.chain, Stage::kLz4);
   return out;
 }
@@ -247,6 +258,14 @@ Status DecodeInt64(ChainCode chain, Slice dict, Slice data, size_t count,
     return Status::OK();
   }
 
+  if (stages == std::vector<Stage>{Stage::kDelta, Stage::kZigZag,
+                                   Stage::kMiniBlockPack}) {
+    return delta::DecodeMiniBlocks(data, count, values);
+  }
+
+  // Legacy whole-column chain: row blocks written before the mini-block
+  // format (shm images and disk backups survive restarts and upgrades, so
+  // the old layout must keep decoding).
   if (stages ==
       std::vector<Stage>{Stage::kDelta, Stage::kZigZag, Stage::kBitPack}) {
     int64_t base = 0;
@@ -320,6 +339,43 @@ bool IsStringDictChain(ChainCode chain) {
   std::vector<Stage> stages = ChainStages(chain);
   StripLz4(&stages);
   return stages == std::vector<Stage>{Stage::kDictionary, Stage::kBitPack};
+}
+
+bool IsDictBitPackChain(ChainCode chain) {
+  std::vector<Stage> stages = ChainStages(chain);
+  StripLz4(&stages);
+  return stages == std::vector<Stage>{Stage::kDictionary, Stage::kBitPack};
+}
+
+bool IsMiniBlockChain(ChainCode chain) {
+  std::vector<Stage> stages = ChainStages(chain);
+  StripLz4(&stages);
+  return stages == std::vector<Stage>{Stage::kDelta, Stage::kZigZag,
+                                      Stage::kMiniBlockPack};
+}
+
+Status UnwrapLz4(ChainCode chain, Slice data, ByteBuffer* storage,
+                 Slice* out) {
+  std::vector<Stage> stages = ChainStages(chain);
+  if (StripLz4(&stages)) {
+    SCUBA_RETURN_IF_ERROR(UnLz4(data, storage));
+    *out = storage->AsSlice();
+  } else {
+    *out = data;
+  }
+  return Status::OK();
+}
+
+Status ReadPackedCodes(Slice data, size_t count, int* width, Slice* packed) {
+  if (data.empty()) return Status::Corruption("column: missing pack width");
+  *width = data[0];
+  data.RemovePrefix(1);
+  if (*width > 64) return Status::Corruption("column: pack width > 64");
+  if (data.size() < bitpack::PackedSize(count, *width)) {
+    return Status::Corruption("column: packed codes too short");
+  }
+  *packed = data;
+  return Status::OK();
 }
 
 Status DecodeStringDictCodes(ChainCode chain, Slice dict, Slice data,

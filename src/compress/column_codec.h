@@ -30,6 +30,7 @@ enum class Stage : uint8_t {
   kShuffle = 6,     // byte-plane transpose (doubles), pairs with kLz4
   kRawStrings = 7,  // varint-framed string concatenation
   kRawFixed = 8,    // raw little-endian fixed-width values
+  kMiniBlockPack = 9,  // per-mini-block bit packing with (min,max) bounds
 };
 
 /// Chain of up to 4 stages packed 4 bits each, first stage in the low bits.
@@ -53,9 +54,15 @@ struct EncodedColumn {
 };
 
 /// Encodes an int64 column. Chooses dictionary + bit packing for
-/// low-cardinality columns, otherwise delta + zigzag + bit packing; appends
-/// an LZ4 stage whenever it shrinks the result.
+/// low-cardinality columns, otherwise delta + zigzag + mini-block packing
+/// (independently decodable 128-row blocks carrying zone-map bounds, see
+/// compress/delta.h); appends an LZ4 stage whenever it shrinks the result.
 EncodedColumn EncodeInt64(const std::vector<int64_t>& values);
+
+/// The pre-mini-block int64 chain (delta + zigzag + whole-column bitpack).
+/// Kept so back-compat tests can exercise decoding of row blocks written by
+/// older builds; DecodeInt64 still accepts both chains.
+EncodedColumn EncodeInt64Legacy(const std::vector<int64_t>& values);
 
 /// Encodes a double column with byte-plane shuffle + LZ4 (falls back to raw
 /// when incompressible).
@@ -68,6 +75,22 @@ EncodedColumn EncodeString(const std::vector<std::string>& values);
 /// True when `chain` is the dictionary-encoded string layout
 /// (dict + bitpack, optionally wrapped in lz4).
 bool IsStringDictChain(ChainCode chain);
+
+/// Structural chain tests used by the compressed-domain scan path. A
+/// dict+bitpack chain stores per-row dictionary codes as u8(width) +
+/// bitpacked stream; a mini-block chain stores the compress/delta.h
+/// mini-block layout. Both may carry a trailing lz4 stage.
+bool IsDictBitPackChain(ChainCode chain);
+bool IsMiniBlockChain(ChainCode chain);
+
+/// Strips a trailing lz4 stage: on return *out is either `data` itself (no
+/// lz4 in the chain) or a view of *storage holding the decompressed bytes.
+Status UnwrapLz4(ChainCode chain, Slice data, ByteBuffer* storage,
+                 Slice* out);
+
+/// Splits a (already lz4-unwrapped) dict+bitpack data blob into its bit
+/// width and the raw packed code stream of `count` codes.
+Status ReadPackedCodes(Slice data, size_t count, int* width, Slice* packed);
 
 /// Decodes the dictionary entries and the per-row dictionary codes of a
 /// dictionary-encoded string column WITHOUT materializing per-row strings

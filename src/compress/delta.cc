@@ -1,5 +1,8 @@
 #include "compress/delta.h"
 
+#include <algorithm>
+
+#include "compress/bitpack.h"
 #include "util/varint.h"
 
 namespace scuba {
@@ -49,6 +52,119 @@ std::vector<int64_t> UnZigZagAll(const std::vector<uint64_t>& values) {
   out.reserve(values.size());
   for (uint64_t v : values) out.push_back(varint::ZigZagDecode(v));
   return out;
+}
+
+void EncodeMiniBlocks(const std::vector<int64_t>& values, ByteBuffer* out) {
+  varint::AppendU64(out, kMiniBlockRows);
+  const size_t n = values.size();
+  ByteBuffer payload;
+  std::vector<uint64_t> zz;
+  zz.reserve(kMiniBlockRows);
+  int64_t prev_first = 0;
+  for (size_t begin = 0; begin < n; begin += kMiniBlockRows) {
+    const size_t rows = std::min(kMiniBlockRows, n - begin);
+    const int64_t first = values[begin];
+    int64_t mn = first;
+    int64_t mx = first;
+    zz.clear();
+    int64_t prev = first;
+    for (size_t i = 1; i < rows; ++i) {
+      const int64_t v = values[begin + i];
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      // Wrapping subtraction so arbitrary int64 inputs round-trip.
+      zz.push_back(varint::ZigZagEncode(static_cast<int64_t>(
+          static_cast<uint64_t>(v) - static_cast<uint64_t>(prev))));
+      prev = v;
+    }
+    const int width = bitpack::RequiredWidth(zz);
+    varint::AppendI64(out, static_cast<int64_t>(
+                               static_cast<uint64_t>(first) -
+                               static_cast<uint64_t>(prev_first)));
+    varint::AppendU64(out, static_cast<uint64_t>(first) -
+                               static_cast<uint64_t>(mn));
+    varint::AppendU64(out, static_cast<uint64_t>(mx) -
+                               static_cast<uint64_t>(first));
+    out->AppendU8(static_cast<uint8_t>(width));
+    bitpack::Pack(zz, width, &payload);
+    prev_first = first;
+  }
+  out->Append(payload.AsSlice());
+}
+
+Status ParseMiniBlocks(Slice data, size_t count, std::vector<MiniBlock>* dir,
+                       Slice* payload) {
+  dir->clear();
+  *payload = Slice();
+  if (count == 0) return Status::OK();
+  uint64_t mb_rows = 0;
+  if (!varint::ReadU64(&data, &mb_rows) || mb_rows == 0) {
+    return Status::Corruption("miniblock: bad block row count");
+  }
+  const size_t num_blocks = (count + mb_rows - 1) / mb_rows;
+  dir->reserve(num_blocks);
+  int64_t prev_first = 0;
+  size_t payload_offset = 0;
+  for (size_t k = 0; k < num_blocks; ++k) {
+    MiniBlock mb;
+    mb.row_begin = k * mb_rows;
+    mb.rows = std::min<size_t>(mb_rows, count - mb.row_begin);
+    int64_t dfirst = 0;
+    uint64_t below = 0;
+    uint64_t above = 0;
+    if (!varint::ReadI64(&data, &dfirst) || !varint::ReadU64(&data, &below) ||
+        !varint::ReadU64(&data, &above) || data.empty()) {
+      return Status::Corruption("miniblock: truncated directory");
+    }
+    mb.first = static_cast<int64_t>(static_cast<uint64_t>(prev_first) +
+                                    static_cast<uint64_t>(dfirst));
+    mb.min = static_cast<int64_t>(static_cast<uint64_t>(mb.first) - below);
+    mb.max = static_cast<int64_t>(static_cast<uint64_t>(mb.first) + above);
+    mb.width = data[0];
+    data.RemovePrefix(1);
+    if (mb.width > 64) return Status::Corruption("miniblock: width > 64");
+    mb.payload_offset = payload_offset;
+    payload_offset += bitpack::PackedSize(mb.rows - 1, mb.width);
+    prev_first = mb.first;
+    dir->push_back(mb);
+  }
+  if (data.size() < payload_offset) {
+    return Status::Corruption("miniblock: truncated payload");
+  }
+  *payload = data;
+  return Status::OK();
+}
+
+Status DecodeMiniBlock(const MiniBlock& mb, Slice payload, int64_t* out) {
+  out[0] = mb.first;
+  if (mb.rows <= 1) return Status::OK();
+  if (payload.size() < mb.payload_offset) {
+    return Status::Corruption("miniblock: payload offset out of range");
+  }
+  Slice packed = Slice(payload.data() + mb.payload_offset,
+                       payload.size() - mb.payload_offset);
+  std::vector<uint64_t> zz;
+  SCUBA_RETURN_IF_ERROR(bitpack::Unpack(packed, mb.width, mb.rows - 1, &zz));
+  uint64_t acc = static_cast<uint64_t>(mb.first);
+  for (size_t i = 0; i < zz.size(); ++i) {
+    acc += static_cast<uint64_t>(varint::ZigZagDecode(zz[i]));
+    out[i + 1] = static_cast<int64_t>(acc);
+  }
+  return Status::OK();
+}
+
+Status DecodeMiniBlocks(Slice data, size_t count,
+                        std::vector<int64_t>* values) {
+  values->clear();
+  if (count == 0) return Status::OK();
+  std::vector<MiniBlock> dir;
+  Slice payload;
+  SCUBA_RETURN_IF_ERROR(ParseMiniBlocks(data, count, &dir, &payload));
+  values->resize(count);
+  for (const MiniBlock& mb : dir) {
+    SCUBA_RETURN_IF_ERROR(DecodeMiniBlock(mb, payload, values->data() + mb.row_begin));
+  }
+  return Status::OK();
 }
 
 }  // namespace delta

@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/byte_buffer.h"
+#include "util/slice.h"
+#include "util/status.h"
+
 namespace scuba {
 namespace delta {
 
@@ -21,6 +25,52 @@ void Decode(std::vector<int64_t>* values);
 /// Maps signed deltas to unsigned via zigzag so small magnitudes pack small.
 std::vector<uint64_t> ZigZagAll(const std::vector<int64_t>& values);
 std::vector<int64_t> UnZigZagAll(const std::vector<uint64_t>& values);
+
+/// --- Mini-block layout ---------------------------------------------------
+///
+/// The delta+zigzag+mbpack chain splits a column into fixed-size mini-blocks
+/// of kMiniBlockRows rows. The stream is:
+///
+///   varint   mini-block row count (kMiniBlockRows; stored for evolution)
+///   per block, in order (the directory):
+///     zigzag varint   first - previous block's first (wrapping)
+///     varint          first - min   (wrapping uint64 difference)
+///     varint          max - first   (wrapping uint64 difference)
+///     u8              bit width of this block's packed deltas
+///   per block, in order (the payload):
+///     bitpack(rows - 1 zigzag deltas local to the block, width bits each)
+///
+/// Every block carries zone-map-style (min, max) bounds and decodes
+/// independently of its neighbours, so a selective scan prunes whole blocks
+/// against a predicate and decodes only the survivors. Each block's payload
+/// offset is derived from the directory widths, not stored.
+
+inline constexpr size_t kMiniBlockRows = 128;
+
+struct MiniBlock {
+  int64_t first = 0;  // absolute first value of the block
+  int64_t min = 0;    // zone bounds over the block's values
+  int64_t max = 0;
+  int width = 0;           // bit width of the packed zigzag deltas
+  size_t row_begin = 0;    // index of the block's first row in the column
+  size_t rows = 0;         // rows in this block (last block may be short)
+  size_t payload_offset = 0;  // byte offset of the block's packed deltas
+};
+
+/// Appends the mini-block stream for `values` (must be non-empty).
+void EncodeMiniBlocks(const std::vector<int64_t>& values, ByteBuffer* out);
+
+/// Parses the directory of an EncodeMiniBlocks stream holding `count` rows.
+/// On success *payload covers the packed-deltas region (directory stripped).
+Status ParseMiniBlocks(Slice data, size_t count, std::vector<MiniBlock>* dir,
+                       Slice* payload);
+
+/// Decodes one mini-block into out[0 .. mb.rows).
+Status DecodeMiniBlock(const MiniBlock& mb, Slice payload, int64_t* out);
+
+/// Full decode of an EncodeMiniBlocks stream.
+Status DecodeMiniBlocks(Slice data, size_t count,
+                        std::vector<int64_t>* values);
 
 }  // namespace delta
 }  // namespace scuba

@@ -28,9 +28,11 @@ std::string_view RecoverySourceName(RecoverySource source);
 /// metrics section. v1 had no version field; v2 added "schema_version"
 /// itself plus interpolated histogram percentiles in the metrics snapshot;
 /// v3 added the per-case query profile object (QueryProfile::ToJson) and
-/// the sampled-trace section to bench_query. Bump when a consumer-visible
-/// field changes shape or meaning.
-inline constexpr int kRestartReportSchemaVersion = 3;
+/// the sampled-trace section to bench_query; v4 added the profile's
+/// cache_hit_buckets/cache_miss_buckets fields and bench_query's
+/// result_digest per case. Bump when a consumer-visible field changes
+/// shape or meaning.
+inline constexpr int kRestartReportSchemaVersion = 4;
 
 /// On-disk backup format.
 enum class BackupFormatKind {

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/packed_column.h"
 #include "query/scan_kernels.h"
 #include "util/clock.h"
 
@@ -329,20 +330,28 @@ Status ProcessChunkScalar(const DecodedChunk& chunk, const Query& query,
 
 // Lazily decoded columns of one scan unit. Predicate columns load first;
 // group-by and aggregate columns only load if any row survived the filters.
+//
+// Get() passes the CURRENT selection to the loader so block columns can
+// materialize only the selected rows (selection-vector-driven partial
+// decode). Caching a partial column is sound because the selection only
+// ever shrinks within a chunk: every later Get sees a subset of the rows
+// the cached column was materialized for.
 class LazyColumns {
  public:
-  using Loader = std::function<Status(const std::string&, scan::ScanColumn*)>;
+  using Loader = std::function<Status(
+      const std::string&, const scan::SelVector*, scan::ScanColumn*)>;
 
   LazyColumns(size_t rows, Loader loader)
       : rows_(rows), loader_(std::move(loader)) {}
 
   size_t rows() const { return rows_; }
 
-  StatusOr<const scan::ScanColumn*> Get(const std::string& name) {
+  StatusOr<const scan::ScanColumn*> Get(const std::string& name,
+                                        const scan::SelVector* sel) {
     auto it = cache_.find(name);
     if (it != cache_.end()) return &it->second;
     scan::ScanColumn column;
-    SCUBA_RETURN_IF_ERROR(loader_(name, &column));
+    SCUBA_RETURN_IF_ERROR(loader_(name, sel, &column));
     auto [ins, inserted] = cache_.emplace(name, std::move(column));
     (void)inserted;
     return &ins->second;
@@ -352,6 +361,40 @@ class LazyColumns {
   size_t rows_;
   Loader loader_;
   std::unordered_map<std::string, scan::ScanColumn> cache_;
+};
+
+// Lazily opened compressed-domain views of one row block's int64 columns
+// (filter-before-decode): predicates and the time-range select run on the
+// stored bytes, and the loader above materializes only surviving rows.
+// Get() returns nullptr when a column cannot execute packed — absent,
+// non-int64, a legacy chain, or a parse failure (the full-decode fallback
+// then also surfaces corruption errors exactly as before).
+class PackedChunk {
+ public:
+  PackedChunk(const RowBlock& block, const TypeMap& types)
+      : block_(block), types_(types) {}
+
+  PackedInt64Column* Get(const std::string& name) {
+    auto it = views_.find(name);
+    if (it == views_.end()) {
+      std::unique_ptr<PackedInt64Column> view;
+      auto type = types_.find(name);
+      if (type != types_.end() && type->second == ColumnType::kInt64) {
+        const RowBlockColumn* column = block_.ColumnByName(name);
+        if (column != nullptr) view = PackedInt64Column::Open(*column);
+        if (view != nullptr && view->rows() != block_.header().row_count) {
+          view.reset();
+        }
+      }
+      it = views_.emplace(name, std::move(view)).first;
+    }
+    return it->second.get();
+  }
+
+ private:
+  const RowBlock& block_;
+  const TypeMap& types_;
+  std::unordered_map<std::string, std::unique_ptr<PackedInt64Column>> views_;
 };
 
 // Decodes one row block column into scan form, by the resolved type.
@@ -535,25 +578,48 @@ bool ZonePrunesBlock(const RowBlock& block, const Predicate& pred,
   return false;  // no zone maps for string columns
 }
 
-Status ProcessChunkVectorized(LazyColumns* cols, const Query& query,
-                              const TypeMap& types, QueryResult* result) {
+Status ProcessChunkVectorized(LazyColumns* cols, PackedChunk* packed,
+                              const Query& query, const TypeMap& types,
+                              QueryResult* result) {
   result->rows_scanned += cols->rows();
   result->profile().rows_scanned += cols->rows();
 
-  SCUBA_ASSIGN_OR_RETURN(const scan::ScanColumn* time_col,
-                         cols->Get(kTimeColumnName));
-  const auto* times = std::get_if<std::vector<int64_t>>(time_col);
-  if (times == nullptr) {
-    return Status::InvalidArgument("query: 'time' column is not int64");
-  }
+  // Filter-before-decode: when the time column's encoding supports it, the
+  // initial time-range selection comes straight off the packed bytes —
+  // mini-block (min,max) bounds admit or reject whole blocks, and only the
+  // straddling ones decode. `times` stays null until (and unless) the
+  // bucketed group path needs the actual values of the surviving rows.
   scan::SelVector sel;
-  scan::SelectTimeRange(*times, query.begin_time, query.end_time, &sel);
+  const std::vector<int64_t>* times = nullptr;
+  PackedInt64Column* packed_time =
+      packed != nullptr ? packed->Get(kTimeColumnName) : nullptr;
+  if (packed_time != nullptr) {
+    SCUBA_RETURN_IF_ERROR(
+        packed_time->SelectTimeRange(query.begin_time, query.end_time, &sel));
+  } else {
+    SCUBA_ASSIGN_OR_RETURN(const scan::ScanColumn* time_col,
+                           cols->Get(kTimeColumnName, nullptr));
+    times = std::get_if<std::vector<int64_t>>(time_col);
+    if (times == nullptr) {
+      return Status::InvalidArgument("query: 'time' column is not int64");
+    }
+    scan::SelectTimeRange(*times, query.begin_time, query.end_time, &sel);
+  }
 
   for (const Predicate& pred : query.predicates) {
     if (sel.empty()) break;
     SCUBA_RETURN_IF_ERROR(CheckPredicateTypes(pred, types.at(pred.column)));
+    // The type check above passed, so an int64 column implies an int64
+    // literal; packed evaluation is bit-identical to decode + FilterInt64.
+    PackedInt64Column* view =
+        packed != nullptr ? packed->Get(pred.column) : nullptr;
+    if (view != nullptr) {
+      SCUBA_RETURN_IF_ERROR(
+          view->Filter(pred.op, std::get<int64_t>(pred.literal), &sel));
+      continue;
+    }
     SCUBA_ASSIGN_OR_RETURN(const scan::ScanColumn* col,
-                           cols->Get(pred.column));
+                           cols->Get(pred.column, &sel));
     ApplyPredicate(pred, *col, &sel);
   }
   result->rows_matched += sel.size();
@@ -561,10 +627,11 @@ Status ProcessChunkVectorized(LazyColumns* cols, const Query& query,
   QueryMetrics::Get().rows_matched->Add(sel.size());
   if (sel.empty()) return Status::OK();
 
-  // Only now — with survivors known — decode group-by/aggregate columns.
+  // Only now — with survivors known — decode group-by/aggregate columns,
+  // and only the surviving rows of each.
   std::vector<const scan::ScanColumn*> group_cols(query.group_by.size());
   for (size_t g = 0; g < query.group_by.size(); ++g) {
-    SCUBA_ASSIGN_OR_RETURN(group_cols[g], cols->Get(query.group_by[g]));
+    SCUBA_ASSIGN_OR_RETURN(group_cols[g], cols->Get(query.group_by[g], &sel));
   }
   std::vector<const scan::ScanColumn*> agg_cols(query.aggregates.size(),
                                                 nullptr);
@@ -575,10 +642,20 @@ Status ProcessChunkVectorized(LazyColumns* cols, const Query& query,
       return Status::InvalidArgument("query: aggregate over string column '" +
                                      agg.column + "'");
     }
-    SCUBA_ASSIGN_OR_RETURN(agg_cols[a], cols->Get(agg.column));
+    SCUBA_ASSIGN_OR_RETURN(agg_cols[a], cols->Get(agg.column, &sel));
   }
 
   const bool bucketed = query.time_bucket_seconds > 0;
+  if (bucketed && times == nullptr) {
+    // Packed time select skipped the decode; the bucketed group key needs
+    // the survivors' timestamps after all.
+    SCUBA_ASSIGN_OR_RETURN(const scan::ScanColumn* time_col,
+                           cols->Get(kTimeColumnName, &sel));
+    times = std::get_if<std::vector<int64_t>>(time_col);
+    if (times == nullptr) {
+      return Status::InvalidArgument("query: 'time' column is not int64");
+    }
+  }
   const size_t key_offset = bucketed ? 1 : 0;
   std::vector<Value> group_key(query.group_by.size() + key_offset);
   std::vector<QueryResult::Sample> samples(query.aggregates.size());
@@ -618,15 +695,29 @@ Status ScanBlock(const RowBlock& block, size_t block_index,
   const size_t rows = block.header().row_count;
   int64_t decode_micros = 0;
   uint64_t decode_bytes = 0;
-  LazyColumns cols(rows, [&](const std::string& name, scan::ScanColumn* out) {
+  PackedChunk packed(block, types);
+  LazyColumns cols(rows, [&](const std::string& name,
+                             const scan::SelVector* sel,
+                             scan::ScanColumn* out) {
     Stopwatch decode_watch;
-    Status s = LoadBlockColumn(block, types, rows, name, out);
+    Status s;
+    PackedInt64Column* view = packed.Get(name);
+    if (view != nullptr) {
+      // Partial decode: only the mini-blocks (or dictionary codes) covering
+      // the selected rows materialize.
+      std::vector<int64_t> values;
+      s = view->MaterializeInto(sel, &values);
+      if (s.ok()) *out = std::move(values);
+    } else {
+      s = LoadBlockColumn(block, types, rows, name, out);
+    }
     decode_micros += decode_watch.ElapsedMicros();
     if (s.ok()) decode_bytes += ScanColumnBytes(*out);
     return s;
   });
   Stopwatch scan_watch;
-  SCUBA_RETURN_IF_ERROR(ProcessChunkVectorized(&cols, query, types, result));
+  SCUBA_RETURN_IF_ERROR(
+      ProcessChunkVectorized(&cols, &packed, query, types, result));
   // Decode happens lazily inside the kernel pass, so the split is
   // total-minus-decode rather than two disjoint timers.
   int64_t total_micros = scan_watch.ElapsedMicros();
@@ -757,7 +848,9 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
     int64_t decode_micros = 0;
     uint64_t decode_bytes = 0;
     LazyColumns cols(buffer.row_count(),
-                     [&](const std::string& name, scan::ScanColumn* out) {
+                     [&](const std::string& name, const scan::SelVector* sel,
+                         scan::ScanColumn* out) {
+                       (void)sel;  // buffer rows are already materialized
                        Stopwatch decode_watch;
                        Status s = LoadBufferColumn(buffer, types, name, out);
                        decode_micros += decode_watch.ElapsedMicros();
@@ -767,7 +860,7 @@ StatusOr<QueryResult> LeafExecutor::Execute(const Table& table,
     QueryResult partial(query.aggregates);
     Stopwatch scan_watch;
     SCUBA_RETURN_IF_ERROR(
-        ProcessChunkVectorized(&cols, query, types, &partial));
+        ProcessChunkVectorized(&cols, nullptr, query, types, &partial));
     QueryProfile& buffer_profile = partial.profile();
     buffer_profile.decode_micros = decode_micros;
     buffer_profile.kernel_micros =

@@ -12,6 +12,8 @@ void QueryProfile::Merge(const QueryProfile& other) {
   rows_scanned += other.rows_scanned;
   rows_matched += other.rows_matched;
   bytes_decoded += other.bytes_decoded;
+  cache_hit_buckets += other.cache_hit_buckets;
+  cache_miss_buckets += other.cache_miss_buckets;
   leaves_total += other.leaves_total;
   leaves_responded += other.leaves_responded;
   unavailable_leaves.insert(unavailable_leaves.end(),
@@ -36,6 +38,8 @@ std::string QueryProfile::ToJson() const {
      << ", \"rows_scanned\": " << rows_scanned
      << ", \"rows_matched\": " << rows_matched
      << ", \"bytes_decoded\": " << bytes_decoded
+     << ", \"cache_hit_buckets\": " << cache_hit_buckets
+     << ", \"cache_miss_buckets\": " << cache_miss_buckets
      << ", \"leaves_total\": " << leaves_total
      << ", \"leaves_responded\": " << leaves_responded
      << ", \"unavailable_leaves\": [";
@@ -83,6 +87,10 @@ std::string QueryProfile::ToText() const {
   os << "\n  rows:   " << rows_scanned << " scanned, " << rows_matched
      << " matched (" << pct << ")";
   os << "\n  bytes:  " << bytes_decoded << " decoded";
+  if (cache_hit_buckets > 0 || cache_miss_buckets > 0) {
+    os << "\n  cache:  " << cache_hit_buckets << " bucket hits, "
+       << cache_miss_buckets << " misses";
+  }
   os << "\n  stages: prune " << Millis(prune_micros) << ", decode "
      << Millis(decode_micros) << ", kernel " << Millis(kernel_micros)
      << ", merge " << Millis(merge_micros);

@@ -31,6 +31,11 @@ struct QueryProfile {
   /// Bytes materialized by column decode (lazy: only columns a predicate
   /// touched, plus group/aggregate columns of blocks with survivors).
   uint64_t bytes_decoded = 0;
+  /// Aggregator result cache: full time buckets served from a cached
+  /// per-leaf partial vs. executed fresh. Head/tail ranges that don't
+  /// cover a whole bucket (and uncacheable queries) count in neither.
+  uint64_t cache_hit_buckets = 0;
+  uint64_t cache_miss_buckets = 0;
 
   // --- availability (summed on merge, like QueryResult's) -----------------
   uint32_t leaves_total = 0;

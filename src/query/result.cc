@@ -127,6 +127,23 @@ void QueryResult::Merge(const QueryResult& other) {
   profile_.Merge(other.profile_);
 }
 
+uint64_t QueryResult::EstimatedHeapBytes() const {
+  uint64_t bytes = sizeof(QueryResult);
+  for (const auto& [key, group] : groups_) {
+    bytes += sizeof(std::vector<Value>) + key.size() * sizeof(Value);
+    for (const Value& v : key) {
+      if (const auto* s = std::get_if<std::string>(&v)) bytes += s->size();
+    }
+    bytes += group.partials.size() * sizeof(AggPartial);
+    for (const AggPartial& p : group.partials) {
+      if (!p.histogram.empty()) {
+        bytes += Histogram::kNumBuckets * sizeof(uint64_t);
+      }
+    }
+  }
+  return bytes;
+}
+
 std::vector<ResultRow> QueryResult::Finalize(
     const std::vector<Aggregate>& aggregates, uint64_t limit) const {
   // Deterministic output order: sort group pointers by the order-preserving

@@ -113,6 +113,11 @@ class QueryResult {
 
   size_t num_groups() const { return groups_.size(); }
 
+  /// Rough heap footprint of the accumulated groups (keys + partials +
+  /// lazy percentile histograms). The aggregator's result cache charges
+  /// each stored partial against its byte budget with this.
+  uint64_t EstimatedHeapBytes() const;
+
   // Scan / pruning statistics (summed on merge). These are the historical
   // coarse counters; profile() below carries the full per-stage breakdown
   // (time- vs zone-pruned split, bytes decoded, stage timings).

@@ -203,5 +203,27 @@ bool ZoneCanPruneDouble(CompareOp op, double zone_min, double zone_max,
   return ZoneCanPrune(op, zone_min, zone_max, literal);
 }
 
+bool ZoneAllMatchInt64(CompareOp op, int64_t zone_min, int64_t zone_max,
+                       int64_t literal) {
+  switch (op) {
+    case CompareOp::kEq:
+      return zone_min == zone_max && zone_min == literal;
+    case CompareOp::kNe:
+      return literal < zone_min || literal > zone_max;
+    case CompareOp::kLt:
+      return zone_max < literal;
+    case CompareOp::kLe:
+      return zone_max <= literal;
+    case CompareOp::kGt:
+      return zone_min > literal;
+    case CompareOp::kGe:
+      return zone_min >= literal;
+    case CompareOp::kContains:
+    case CompareOp::kPrefix:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace scan
 }  // namespace scuba

@@ -1,0 +1,117 @@
+// AVX2 tier of the packed compare kernel. This file is the ONLY translation
+// unit compiled with -mavx2 (see src/query/CMakeLists.txt); everything else
+// stays at the project baseline so the binary runs on non-AVX2 hosts — the
+// functions here execute only behind the runtime CPUID check in
+// ActiveSimdLevel().
+
+#include "query/scan_kernels_packed_internal.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace scuba {
+namespace scan {
+namespace internal {
+
+#if defined(__AVX2__)
+
+bool Avx2CompiledIn() { return true; }
+
+void DensePackedCompareAvx2(const uint8_t* packed, size_t packed_size,
+                            int width, size_t count, uint64_t literal,
+                            CompareOp op, SelVector* out) {
+  // Byte-aligned widths reuse the 128-bit loops (16/8/4 lanes per
+  // iteration beats the 4-lane gather below).
+  if (width == 8 || width == 16 || width == 32) {
+    DensePackedCompareSse2(packed, packed_size, width, count, literal, op,
+                           out);
+    return;
+  }
+  // A lane at bit offset b occupies bytes [b>>3, (b>>3)+8) after the shift
+  // by (b&7) — that only holds while width <= 57 (7-bit shift + 57-bit lane
+  // fits one 64-bit load). Wider lanes take the two-part scalar extract.
+  // The gather also needs 32-bit signed offsets.
+  if (width < 1 || width > 57 || packed_size > (1ull << 31)) {
+    DensePackedCompareScalar(packed, packed_size, width, count, literal, op,
+                             out);
+    return;
+  }
+  const uint64_t mask = (1ull << width) - 1;
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vlit = _mm256_set1_epi64x(static_cast<long long>(literal));
+  const __m256i ones = _mm256_set1_epi64x(-1);
+
+  size_t i = 0;
+  const size_t w = static_cast<size_t>(width);
+  for (; i + 4 <= count; i += 4) {
+    const size_t bit0 = i * w;
+    const size_t bit3 = (i + 3) * w;
+    // Stop the vector loop once an 8-byte lane load would cross the end of
+    // the packed stream; the scalar tail clamps its loads instead.
+    if ((bit3 >> 3) + 8 > packed_size) break;
+    const __m128i offsets =
+        _mm_set_epi32(static_cast<int>(bit3 >> 3),
+                      static_cast<int>((bit0 + 2 * w) >> 3),
+                      static_cast<int>((bit0 + w) >> 3),
+                      static_cast<int>(bit0 >> 3));
+    const __m256i raw = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(packed), offsets, 1);
+    const __m256i shifts =
+        _mm256_set_epi64x(static_cast<long long>(bit3 & 7),
+                          static_cast<long long>((bit0 + 2 * w) & 7),
+                          static_cast<long long>((bit0 + w) & 7),
+                          static_cast<long long>(bit0 & 7));
+    const __m256i lanes =
+        _mm256_and_si256(_mm256_srlv_epi64(raw, shifts), vmask);
+    // Lanes and literal both fit 57 bits, so the signed 64-bit compares
+    // coincide with the unsigned-domain contract.
+    __m256i m;
+    switch (op) {
+      case CompareOp::kEq: m = _mm256_cmpeq_epi64(lanes, vlit); break;
+      case CompareOp::kNe:
+        m = _mm256_xor_si256(_mm256_cmpeq_epi64(lanes, vlit), ones);
+        break;
+      case CompareOp::kLt: m = _mm256_cmpgt_epi64(vlit, lanes); break;
+      case CompareOp::kLe:
+        m = _mm256_xor_si256(_mm256_cmpgt_epi64(lanes, vlit), ones);
+        break;
+      case CompareOp::kGt: m = _mm256_cmpgt_epi64(lanes, vlit); break;
+      case CompareOp::kGe:
+        m = _mm256_xor_si256(_mm256_cmpgt_epi64(vlit, lanes), ones);
+        break;
+      default: return;
+    }
+    const int bits = _mm256_movemask_pd(_mm256_castsi256_pd(m));
+    for (int j = 0; j < 4; ++j) {
+      if ((bits >> j) & 1) {
+        out->push_back(static_cast<uint32_t>(i) + static_cast<uint32_t>(j));
+      }
+    }
+  }
+  for (; i < count; ++i) {
+    if (CompareU64(ExtractPackedLane(packed, packed_size, width, i), op,
+                   literal)) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+#else  // !defined(__AVX2__)
+
+bool Avx2CompiledIn() { return false; }
+
+void DensePackedCompareAvx2(const uint8_t* packed, size_t packed_size,
+                            int width, size_t count, uint64_t literal,
+                            CompareOp op, SelVector* out) {
+  // Toolchain had no -mavx2; ActiveSimdLevel() never reports kAvx2, but
+  // keep the symbol total.
+  DensePackedCompareSse2(packed, packed_size, width, count, literal, op,
+                         out);
+}
+
+#endif  // __AVX2__
+
+}  // namespace internal
+}  // namespace scan
+}  // namespace scuba

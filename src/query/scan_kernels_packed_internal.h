@@ -1,0 +1,53 @@
+#ifndef SCUBA_QUERY_SCAN_KERNELS_PACKED_INTERNAL_H_
+#define SCUBA_QUERY_SCAN_KERNELS_PACKED_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "query/scan_kernels.h"
+
+/// Shared between scan_kernels_packed.cc and the -mavx2 translation unit.
+/// Everything here must stay inlineable without AVX2 codegen: the base TU
+/// is compiled with the project's default flags.
+
+namespace scuba {
+namespace scan {
+namespace internal {
+
+/// Unsigned-domain comparison used by every packed kernel tier.
+inline bool CompareU64(uint64_t v, CompareOp op, uint64_t lit) {
+  switch (op) {
+    case CompareOp::kEq: return v == lit;
+    case CompareOp::kNe: return v != lit;
+    case CompareOp::kLt: return v < lit;
+    case CompareOp::kLe: return v <= lit;
+    case CompareOp::kGt: return v > lit;
+    case CompareOp::kGe: return v >= lit;
+    case CompareOp::kContains:
+    case CompareOp::kPrefix: return false;
+  }
+  return false;
+}
+
+/// Appends to *out every row in [0, count) whose lane `<op> literal`.
+/// One implementation per SIMD tier; all produce identical output.
+void DensePackedCompareScalar(const uint8_t* packed, size_t packed_size,
+                              int width, size_t count, uint64_t literal,
+                              CompareOp op, SelVector* out);
+void DensePackedCompareSse2(const uint8_t* packed, size_t packed_size,
+                            int width, size_t count, uint64_t literal,
+                            CompareOp op, SelVector* out);
+void DensePackedCompareAvx2(const uint8_t* packed, size_t packed_size,
+                            int width, size_t count, uint64_t literal,
+                            CompareOp op, SelVector* out);
+
+/// True when the AVX2 translation unit was built with AVX2 codegen (the
+/// toolchain supported -mavx2); runtime CPUID is checked separately.
+bool Avx2CompiledIn();
+
+}  // namespace internal
+}  // namespace scan
+}  // namespace scuba
+
+#endif  // SCUBA_QUERY_SCAN_KERNELS_PACKED_INTERNAL_H_

@@ -1,6 +1,8 @@
 #include "server/aggregator.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -34,6 +36,12 @@ struct AggregatorMetrics {
     return m;
   }
 };
+
+// Floor-divide toward negative infinity (the executor's bucketing rule —
+// the cache's segment boundaries must match the result's bucket keys).
+int64_t BucketFloor(int64_t t, int64_t w) {
+  return (t >= 0 ? t / w : (t - w + 1) / w) * w;
+}
 
 }  // namespace
 
@@ -91,6 +99,115 @@ StatusOr<QueryResult> Aggregator::Execute(const Query& query,
   return merged;
 }
 
+void Aggregator::EnableResultCache(uint64_t max_bytes) {
+  result_cache_ = std::make_shared<ResultCache>(max_bytes);
+  for (LeafServer* leaf : leaves_) InstallIngestObserver(leaf);
+}
+
+void Aggregator::InstallIngestObserver(LeafServer* leaf) {
+  // Captures the cache by shared_ptr, not `this`: leaves routinely outlive
+  // the aggregator object in rollover tests.
+  std::shared_ptr<ResultCache> cache = result_cache_;
+  const uint32_t leaf_id = leaf->config().leaf_id;
+  leaf->SetIngestObserver([cache, leaf_id](const std::string& table) {
+    cache->InvalidateTable(leaf_id, table);
+  });
+}
+
+StatusOr<QueryResult> Aggregator::ExecuteLeaf(LeafServer* leaf,
+                                              const Query& query,
+                                              const QueryContext& ctx) {
+  if (result_cache_ == nullptr || query.time_bucket_seconds <= 0 ||
+      obs::IsSystemTable(query.table)) {
+    return leaf->ExecuteQuery(query, ctx);
+  }
+  const int64_t w = query.time_bucket_seconds;
+  // Unsigned span arithmetic: end - begin can overflow int64 for the
+  // default [0, int64 max] range. Too many buckets -> bypass, don't split.
+  // Pre-epoch or near-overflow ranges also bypass (real dashboard times
+  // are unix seconds; keeping the segment math in [0, max - w] spares
+  // every boundary computation an overflow check).
+  const uint64_t span = static_cast<uint64_t>(query.end_time) -
+                        static_cast<uint64_t>(query.begin_time);
+  if (span / static_cast<uint64_t>(w) >= kMaxCachedBuckets ||
+      query.begin_time < 0 ||
+      query.end_time > std::numeric_limits<int64_t>::max() - w) {
+    return leaf->ExecuteQuery(query, ctx);
+  }
+  // First bucket start fully inside the range; every segment boundary is
+  // bucket-aligned, so each result group's rows fall in exactly ONE
+  // segment and the merged result is bit-identical to one whole scan.
+  int64_t first = BucketFloor(query.begin_time, w);
+  if (first < query.begin_time) first += w;
+  std::vector<int64_t> bucket_starts;
+  for (int64_t s = first; s <= query.end_time - (w - 1); s += w) {
+    bucket_starts.push_back(s);
+  }
+  if (bucket_starts.empty()) return leaf->ExecuteQuery(query, ctx);
+
+  const uint32_t leaf_id = leaf->config().leaf_id;
+  const uint64_t token = leaf->instance_token();
+  QueryResult composed(query.aggregates);
+  uint64_t hit_buckets = 0;
+  uint64_t miss_buckets = 0;
+
+  // Segments merge in time order (head, buckets, tail); any segment's
+  // Unavailable makes the whole leaf unavailable, exactly like an
+  // uncached restarting leaf.
+  auto run_segment = [&](int64_t begin, int64_t end,
+                         bool whole_bucket) -> Status {
+    std::string key;
+    if (whole_bucket) {
+      key = ResultCache::SegmentKey(leaf_id, token, query, begin);
+      QueryResult cached;
+      if (result_cache_->Lookup(key, &cached)) {
+        ++hit_buckets;
+        composed.Merge(cached);
+        return Status::OK();
+      }
+      ++miss_buckets;
+    }
+    const uint64_t epoch = result_cache_->TableEpoch(leaf_id, query.table);
+    Query segment = query;
+    segment.begin_time = begin;
+    segment.end_time = end;
+    SCUBA_ASSIGN_OR_RETURN(QueryResult partial,
+                           leaf->ExecuteQuery(segment, ctx));
+    // The composed result carries the leaf's 1/1 exactly once (below).
+    partial.leaves_total = 0;
+    partial.leaves_responded = 0;
+    partial.profile().leaves_total = 0;
+    partial.profile().leaves_responded = 0;
+    if (whole_bucket &&
+        !leaf->WriteBufferOverlaps(query.table, begin, end)) {
+      result_cache_->Store(key, leaf_id, query.table, epoch, partial);
+    }
+    composed.Merge(partial);
+    return Status::OK();
+  };
+
+  if (first > query.begin_time) {
+    SCUBA_RETURN_IF_ERROR(run_segment(query.begin_time, first - 1, false));
+  }
+  for (int64_t s : bucket_starts) {
+    SCUBA_RETURN_IF_ERROR(run_segment(s, s + (w - 1), true));
+  }
+  const int64_t last_end = bucket_starts.back() + (w - 1);
+  if (last_end < query.end_time) {
+    SCUBA_RETURN_IF_ERROR(run_segment(last_end + 1, query.end_time, false));
+  }
+
+  // Same contract as LeafServer::ExecuteQuery: the per-leaf result counts
+  // itself once.
+  composed.leaves_total = 1;
+  composed.leaves_responded = 1;
+  composed.profile().leaves_total = 1;
+  composed.profile().leaves_responded = 1;
+  composed.profile().cache_hit_buckets += hit_buckets;
+  composed.profile().cache_miss_buckets += miss_buckets;
+  return composed;
+}
+
 StatusOr<QueryResult> Aggregator::ExecuteInternal(const Query& query,
                                                   const QueryContext& ctx) {
   QueryResult merged(query.aggregates);
@@ -127,13 +244,13 @@ StatusOr<QueryResult> Aggregator::ExecuteInternal(const Query& query,
       Status fanout = ParallelFor(
           fanout_pool_.get(), leaves_.size(), [&](size_t i) -> Status {
             queue_wait[i] = fanout_watch.ElapsedMicros();
-            slots[i] = leaves_[i]->ExecuteQuery(query, leaf_ctx);
+            slots[i] = ExecuteLeaf(leaves_[i], query, leaf_ctx);
             return Status::OK();
           });
       SCUBA_RETURN_IF_ERROR(fanout);  // the tasks themselves never fail
     } else {
       for (size_t i = 0; i < leaves_.size(); ++i) {
-        slots[i] = leaves_[i]->ExecuteQuery(query, leaf_ctx);
+        slots[i] = ExecuteLeaf(leaves_[i], query, leaf_ctx);
       }
     }
   }

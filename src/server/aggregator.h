@@ -11,6 +11,7 @@
 #include "query/query_context.h"
 #include "query/result.h"
 #include "server/leaf_server.h"
+#include "server/result_cache.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -33,11 +34,17 @@ class Aggregator {
 
   /// Registers a leaf. Does not take ownership; leaves must outlive the
   /// aggregator.
-  void AddLeaf(LeafServer* leaf) { leaves_.push_back(leaf); }
+  void AddLeaf(LeafServer* leaf) {
+    leaves_.push_back(leaf);
+    if (result_cache_ != nullptr) InstallIngestObserver(leaf);
+  }
 
   /// Replaces the leaf set (rollovers replace LeafServer objects).
   void SetLeaves(std::vector<LeafServer*> leaves) {
     leaves_ = std::move(leaves);
+    if (result_cache_ != nullptr) {
+      for (LeafServer* leaf : leaves_) InstallIngestObserver(leaf);
+    }
   }
 
   size_t num_leaves() const { return leaves_.size(); }
@@ -67,6 +74,23 @@ class Aggregator {
   /// Enables/disables threaded fan-out (default: sequential — the leaves
   /// on one machine share one core in this reproduction's benches).
   void SetParallelFanout(bool parallel) { parallel_fanout_ = parallel; }
+
+  /// Enables the per-leaf partial-result cache (see server/result_cache.h)
+  /// with a byte budget, and installs the ingest-invalidation observer on
+  /// every currently registered leaf (leaves added later get it on
+  /// registration). Bucketed queries over non-system tables then decompose
+  /// into whole-bucket segments per leaf: segments the cache holds skip
+  /// the leaf entirely, fresh sealed segments are cached on the way out,
+  /// and the write-buffer tail plus unaligned head/tail ranges always
+  /// rescan. Results are identical to uncached execution; the profile's
+  /// cache_hit_buckets/cache_miss_buckets report the split. Call once,
+  /// before queries run.
+  void EnableResultCache(uint64_t max_bytes);
+
+  /// The enabled cache, or nullptr. Tests and the dashboard read stats
+  /// through it.
+  ResultCache* result_cache() { return result_cache_.get(); }
+  const ResultCache* result_cache() const { return result_cache_.get(); }
 
   /// Trace-sample every Nth non-system query (0 = never, the default).
   /// The first query after enabling is sampled, then every Nth.
@@ -120,16 +144,29 @@ class Aggregator {
   /// wall time or touch the latency/slow-log policy (Execute does).
   StatusOr<QueryResult> ExecuteInternal(const Query& query,
                                         const QueryContext& ctx);
+  /// One leaf's execution: straight ExecuteQuery, or the cache-aware
+  /// bucket decomposition when the cache is on and the query qualifies.
+  StatusOr<QueryResult> ExecuteLeaf(LeafServer* leaf, const Query& query,
+                                    const QueryContext& ctx);
+  void InstallIngestObserver(LeafServer* leaf);
   /// Latency histograms, slow-query log, query panel. `system` queries
   /// (against `__scuba*` tables) skip the per-table histogram, the log,
   /// and the panel — the self-amplification guard.
   void RecordQueryStats(const Query& query, const QueryResult& result,
                         int64_t wall_micros, bool system);
 
+  /// A query spanning more full buckets than this bypasses the cache (the
+  /// default [0, int64 max] range would otherwise decompose into billions
+  /// of segments).
+  static constexpr uint64_t kMaxCachedBuckets = 4096;
+
   std::vector<LeafServer*> leaves_;
   bool parallel_fanout_ = false;
   /// Shared across queries; created by the first parallel execution.
   std::unique_ptr<ThreadPool> fanout_pool_;
+  /// shared_ptr: the leaves' ingest observers capture it, and a leaf may
+  /// outlive this aggregator.
+  std::shared_ptr<ResultCache> result_cache_;
 
   /// Guards the observability knobs and their counters (queries can run
   /// concurrently through one aggregator).

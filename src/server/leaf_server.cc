@@ -112,6 +112,11 @@ StatusOr<RecoveryResult> LeafServer::Start() {
     if (leaf_state_.state() != LeafState::kInit) {
       return Status::FailedPrecondition("leaf server already started");
     }
+    // Process-wide monotonic token: every started leaf instance, across
+    // every restart, gets a distinct value (cache keys depend on that).
+    static std::atomic<uint64_t> next_instance_token{1};
+    instance_token_.store(next_instance_token.fetch_add(1),
+                          std::memory_order_release);
     if (!config_.backup_dir.empty()) {
       SCUBA_RETURN_IF_ERROR(UsesColumnarBackup() ? columnar_writer_.Init()
                                                  : backup_writer_.Init());
@@ -196,8 +201,16 @@ Status LeafServer::AddRows(const std::string& table,
     return Status::InvalidArgument("table name '" + table +
                                    "' is reserved for system tables");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  return AddRowsLocked(table, rows, /*system=*/false);
+  IngestObserver observer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SCUBA_RETURN_IF_ERROR(AddRowsLocked(table, rows, /*system=*/false));
+    observer = ingest_observer_;
+  }
+  // Fired outside the mutex: the observer typically takes the result
+  // cache's own lock, and holding both invites ordering trouble.
+  if (observer) observer(table);
+  return Status::OK();
 }
 
 Status LeafServer::AddRowsLocked(const std::string& table,
@@ -312,21 +325,42 @@ StatusOr<QueryResult> LeafServer::ExecuteQuery(const Query& query,
 }
 
 size_t LeafServer::ExpireData() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!leaf_state_.CanDeleteExpired()) return 0;
   size_t dropped = 0;
-  int64_t now = clock()->NowUnixSeconds();
-  for (const std::string& name : leaf_map_.TableNames()) {
-    auto ts_it = table_states_.find(name);
-    if (ts_it != table_states_.end() && !ts_it->second.CanDeleteExpired()) {
-      // "Scuba stops deleting expired table data once shutdown starts"
-      // (Fig 5 caption).
-      continue;
+  std::vector<std::string> changed;
+  IngestObserver observer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!leaf_state_.CanDeleteExpired()) return 0;
+    int64_t now = clock()->NowUnixSeconds();
+    for (const std::string& name : leaf_map_.TableNames()) {
+      auto ts_it = table_states_.find(name);
+      if (ts_it != table_states_.end() && !ts_it->second.CanDeleteExpired()) {
+        // "Scuba stops deleting expired table data once shutdown starts"
+        // (Fig 5 caption).
+        continue;
+      }
+      size_t table_dropped = leaf_map_.GetTable(name)->ExpireData(now);
+      if (table_dropped > 0) changed.push_back(name);
+      dropped += table_dropped;
     }
-    dropped += leaf_map_.GetTable(name)->ExpireData(now);
+    ServerMetrics::Get().rows_expired->Add(dropped);
+    observer = ingest_observer_;
   }
-  ServerMetrics::Get().rows_expired->Add(dropped);
+  // Expiry changes a table's queryable contents just like ingest does;
+  // cached partials over the dropped blocks must go.
+  if (observer) {
+    for (const std::string& name : changed) observer(name);
+  }
   return dropped;
+}
+
+bool LeafServer::WriteBufferOverlaps(const std::string& table, int64_t begin,
+                                     int64_t end) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Table* t = leaf_map_.GetTable(table);
+  if (t == nullptr || t->write_buffer().empty()) return false;
+  return t->write_buffer().min_time() <= end &&
+         t->write_buffer().max_time() >= begin;
 }
 
 Status LeafServer::ShutdownToSharedMemory(ShutdownStats* stats,

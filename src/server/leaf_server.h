@@ -173,6 +173,32 @@ class LeafServer {
     return heartbeat_.has_value() ? heartbeat_->generation() : 0;
   }
 
+  /// Process-unique token assigned by Start(), 0 before it. Distinguishes
+  /// this leaf INSTANCE from its predecessors and successors even when the
+  /// heartbeat is disabled — the aggregator's result cache keys entries by
+  /// it so a restarted leaf's rebuilt data never matches pre-restart
+  /// entries.
+  uint64_t instance_token() const {
+    return instance_token_.load(std::memory_order_acquire);
+  }
+
+  /// Observer invoked (outside the server mutex) after rows land in or
+  /// expire from `table` — every event that changes a non-system table's
+  /// queryable contents. The aggregator's result cache hangs its
+  /// invalidation off this. System-table writes by the leaf's own exporter
+  /// do not fire it (`__scuba*` results are never cached).
+  using IngestObserver = std::function<void(const std::string& table)>;
+  void SetIngestObserver(IngestObserver observer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ingest_observer_ = std::move(observer);
+  }
+
+  /// True when `table`'s write buffer holds rows overlapping [begin, end]
+  /// — rows a result cache must never serve stale. False for absent
+  /// tables and empty buffers.
+  bool WriteBufferOverlaps(const std::string& table, int64_t begin,
+                           int64_t end) const;
+
   /// The self-stats exporter, or nullptr when self_stats_enabled is false
   /// or the server has not started. Tests use it to force export cycles.
   obs::StatsExporter* stats_exporter() { return exporter_.get(); }
@@ -264,6 +290,8 @@ class LeafServer {
   ColumnarBackupWriter columnar_writer_;    // columnar format (§6)
   RecoveryResult last_recovery_;
   bool inject_shutdown_kill_ = false;
+  std::atomic<uint64_t> instance_token_{0};
+  IngestObserver ingest_observer_;
   /// Declared last so it is destroyed FIRST: the exporter thread's sink
   /// takes mutex_ and touches leaf_map_, so it must join before any of
   /// them go away.

@@ -1,0 +1,200 @@
+#include "server/result_cache.h"
+
+#include <cstring>
+#include <utility>
+#include <variant>
+
+#include "obs/metrics.h"
+
+namespace scuba {
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* invalidations;
+  obs::Counter* stores;
+  obs::Gauge* cached_bytes;
+  obs::Gauge* entries;
+
+  static CacheMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static CacheMetrics m{
+        reg.GetCounter("scuba.server.result_cache.hits"),
+        reg.GetCounter("scuba.server.result_cache.misses"),
+        reg.GetCounter("scuba.server.result_cache.evictions"),
+        reg.GetCounter("scuba.server.result_cache.invalidations"),
+        reg.GetCounter("scuba.server.result_cache.stores"),
+        reg.GetGauge("scuba.server.result_cache.cached_bytes"),
+        reg.GetGauge("scuba.server.result_cache.entries")};
+    return m;
+  }
+};
+
+/// Canonical encoding of a predicate literal. Doubles encode by bit
+/// pattern so -0.0 vs 0.0 (and NaN payloads) key distinctly — the same
+/// bit semantics QueryResult uses for group keys.
+void AppendLiteral(const Value& literal, std::string* out) {
+  if (const auto* i = std::get_if<int64_t>(&literal)) {
+    out->push_back('i');
+    out->append(std::to_string(*i));
+    return;
+  }
+  if (const auto* d = std::get_if<double>(&literal)) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(*d));
+    std::memcpy(&bits, d, sizeof(bits));
+    out->push_back('d');
+    out->append(std::to_string(bits));
+    return;
+  }
+  const std::string& s = std::get<std::string>(literal);
+  out->push_back('s');
+  out->append(std::to_string(s.size()));
+  out->push_back(':');
+  out->append(s);
+}
+
+/// A cache hit does no scan work, so the stored profile keeps only the
+/// deterministic counters; serving cached buckets with the original
+/// decode/kernel timings would double-book time the query never spent.
+void ZeroProfileTimings(QueryProfile* profile) {
+  profile->prune_micros = 0;
+  profile->decode_micros = 0;
+  profile->kernel_micros = 0;
+  profile->merge_micros = 0;
+  profile->leaf_execute_micros = 0;
+  profile->fanout_queue_wait_micros = 0;
+  profile->wall_micros = 0;
+}
+
+}  // namespace
+
+std::string ResultCache::Scope(uint32_t leaf_id, const std::string& table) {
+  return std::to_string(leaf_id) + '|' + table;
+}
+
+std::string ResultCache::SegmentKey(uint32_t leaf_id, uint64_t instance_token,
+                                    const Query& query, int64_t bucket_start) {
+  std::string key = std::to_string(leaf_id);
+  key.push_back('|');
+  key.append(std::to_string(instance_token));
+  key.push_back('|');
+  key.append(std::to_string(bucket_start));
+  key.push_back('|');
+  key.append(std::to_string(query.time_bucket_seconds));
+  key.push_back('|');
+  // Fingerprint() canonicalizes the shape (table, predicate columns/ops,
+  // grouping, aggregates) but masks literal values; append them so
+  // status>=500 and status>=200 never share an entry.
+  key.append(query.Fingerprint());
+  for (const Predicate& pred : query.predicates) {
+    key.push_back('|');
+    AppendLiteral(pred.literal, &key);
+  }
+  return key;
+}
+
+uint64_t ResultCache::TableEpoch(uint32_t leaf_id,
+                                 const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = epochs_.find(Scope(leaf_id, table));
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+bool ResultCache::Lookup(const std::string& key, QueryResult* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    CacheMetrics::Get().misses->Add(1);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->result;
+  ++stats_.hits;
+  CacheMetrics::Get().hits->Add(1);
+  return true;
+}
+
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  auto scope_it = by_scope_.find(it->scope);
+  if (scope_it != by_scope_.end()) {
+    scope_it->second.erase(it->key);
+    if (scope_it->second.empty()) by_scope_.erase(scope_it);
+  }
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void ResultCache::Store(const std::string& key, uint32_t leaf_id,
+                        const std::string& table, uint64_t epoch_at_scan,
+                        QueryResult partial) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string scope = Scope(leaf_id, table);
+  auto epoch_it = epochs_.find(scope);
+  const uint64_t current = epoch_it == epochs_.end() ? 0 : epoch_it->second;
+  if (current != epoch_at_scan) return;  // ingest raced the scan
+
+  auto existing = index_.find(key);
+  if (existing != index_.end()) EraseLocked(existing->second);
+
+  ZeroProfileTimings(&partial.profile());
+  Entry entry;
+  entry.key = key;
+  entry.scope = scope;
+  entry.bytes = partial.EstimatedHeapBytes() + key.size();
+  entry.result = std::move(partial);
+
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  by_scope_[scope].insert(key);
+  ++stats_.stores;
+  metrics.stores->Add(1);
+
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    EraseLocked(std::prev(lru_.end()));
+    ++stats_.evictions;
+    metrics.evictions->Add(1);
+  }
+  stats_.bytes = bytes_;
+  stats_.entries = lru_.size();
+  metrics.cached_bytes->Set(static_cast<int64_t>(bytes_));
+  metrics.entries->Set(static_cast<int64_t>(lru_.size()));
+}
+
+void ResultCache::InvalidateTable(uint32_t leaf_id, const std::string& table) {
+  CacheMetrics& metrics = CacheMetrics::Get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string scope = Scope(leaf_id, table);
+  ++epochs_[scope];
+  auto scope_it = by_scope_.find(scope);
+  if (scope_it == by_scope_.end()) return;
+  // EraseLocked mutates the scope set; drain from a moved-out copy.
+  std::unordered_set<std::string> keys = std::move(scope_it->second);
+  by_scope_.erase(scope_it);
+  for (const std::string& key : keys) {
+    auto it = index_.find(key);
+    if (it == index_.end()) continue;
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+    metrics.invalidations->Add(1);
+  }
+  stats_.bytes = bytes_;
+  stats_.entries = lru_.size();
+  metrics.cached_bytes->Set(static_cast<int64_t>(bytes_));
+  metrics.entries->Set(static_cast<int64_t>(lru_.size()));
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace scuba

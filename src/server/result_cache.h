@@ -1,0 +1,116 @@
+#ifndef SCUBA_SERVER_RESULT_CACHE_H_
+#define SCUBA_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/query.h"
+#include "query/result.h"
+
+namespace scuba {
+
+/// Bounded LRU cache of per-leaf partial results for SEALED time buckets.
+///
+/// Scuba dashboards re-issue the same shape of query over a sliding window
+/// ("the same dashboard query with a different time window"); everything
+/// but the newest bucket aggregates data that can no longer change. The
+/// aggregator therefore decomposes a bucketed query into whole-bucket
+/// segments per leaf and caches each segment's partial under
+///
+///   leaf id | leaf instance token | table | bucket start | bucket width |
+///   fingerprint | canonical literal values
+///
+/// Query::Fingerprint() masks literals, so the key appends their canonical
+/// encodings — two queries that differ only in a literal never collide.
+/// The instance token changes on every leaf (re)start, so a restarted
+/// leaf's rebuilt data is never served from its predecessor's entries.
+///
+/// Invalidation: every ingest into (and expiry from) a table bumps that
+/// (leaf, table)'s epoch and drops its entries. Store() re-checks the
+/// epoch observed before the scan, so a partial computed concurrently
+/// with an ingest is discarded instead of cached stale. Buckets the
+/// write buffer overlaps are never stored at all — unsealed rows must be
+/// rescanned every time.
+///
+/// Thread-safe; one mutex (lookups copy out, the lock is never held
+/// across query execution).
+class ResultCache {
+ public:
+  explicit ResultCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Cache key of one whole-bucket segment of `query` on one leaf.
+  static std::string SegmentKey(uint32_t leaf_id, uint64_t instance_token,
+                                const Query& query, int64_t bucket_start);
+
+  /// Current ingest epoch of (leaf, table). Sampled before a segment scan
+  /// and passed back to Store().
+  uint64_t TableEpoch(uint32_t leaf_id, const std::string& table) const;
+
+  /// Copies the cached partial for `key` into *out and returns true, or
+  /// returns false (counting a miss). Hits refresh LRU order.
+  bool Lookup(const std::string& key, QueryResult* out);
+
+  /// Inserts a partial, charging EstimatedHeapBytes() against the byte
+  /// budget (evicting LRU entries as needed). Dropped silently when the
+  /// (leaf, table) epoch advanced past `epoch_at_scan` — an ingest raced
+  /// the scan and the partial may already be stale. Timing fields of the
+  /// stored profile are zeroed (a future hit does no decode/kernel work);
+  /// the deterministic counters are kept.
+  void Store(const std::string& key, uint32_t leaf_id,
+             const std::string& table, uint64_t epoch_at_scan,
+             QueryResult partial);
+
+  /// Bumps (leaf, table)'s epoch and drops its entries. Called by the
+  /// leaf's ingest observer on AddRows and ExpireData.
+  void InvalidateTable(uint32_t leaf_id, const std::string& table);
+
+  /// Per-cache counters (mirrored into the global MetricsRegistry under
+  /// scuba.server.result_cache.*).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;  // entries dropped by InvalidateTable
+    uint64_t stores = 0;
+    uint64_t bytes = 0;
+    uint64_t entries = 0;
+  };
+  Stats GetStats() const;
+
+  uint64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string scope;  // "leaf|table", the invalidation index bucket
+    uint64_t bytes = 0;
+    QueryResult result;
+  };
+
+  static std::string Scope(uint32_t leaf_id, const std::string& table);
+
+  /// Removes *it from the list and both indexes; callers hold mutex_.
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const uint64_t max_bytes_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// scope -> keys, so invalidation touches only the table's entries.
+  std::unordered_map<std::string, std::unordered_set<std::string>> by_scope_;
+  std::unordered_map<std::string, uint64_t> epochs_;
+  uint64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace scuba
+
+#endif  // SCUBA_SERVER_RESULT_CACHE_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -81,6 +82,107 @@ TEST(ZigZagAllTest, SmallMagnitudesStaySmall) {
   std::vector<int64_t> values = {-3, -2, -1, 0, 1, 2, 3};
   std::vector<uint64_t> zz = delta::ZigZagAll(values);
   for (uint64_t v : zz) EXPECT_LE(v, 6u);
+}
+
+std::vector<int64_t> MiniBlockRoundTrip(const std::vector<int64_t>& values) {
+  ByteBuffer buf;
+  delta::EncodeMiniBlocks(values, &buf);
+  std::vector<int64_t> out;
+  Status s = delta::DecodeMiniBlocks(buf.AsSlice(), values.size(), &out);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(MiniBlockTest, RoundTripAtBoundaryCounts) {
+  // One short block, exactly one block, one block + 1, several blocks ± 1.
+  for (size_t n : {1u, 2u, 127u, 128u, 129u, 255u, 256u, 257u, 1000u}) {
+    std::vector<int64_t> values;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(1400000000 + static_cast<int64_t>(i) * 3 -
+                       static_cast<int64_t>(i % 7));
+    }
+    EXPECT_EQ(MiniBlockRoundTrip(values), values) << "n=" << n;
+  }
+}
+
+TEST(MiniBlockTest, ExtremeValuesRoundTrip) {
+  std::vector<int64_t> values = {std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max(),
+                                 0,
+                                 -1,
+                                 1,
+                                 std::numeric_limits<int64_t>::min()};
+  EXPECT_EQ(MiniBlockRoundTrip(values), values);
+}
+
+TEST(MiniBlockTest, RandomRoundTrip) {
+  Random random(99);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<int64_t>(random.Next()));
+  }
+  EXPECT_EQ(MiniBlockRoundTrip(values), values);
+}
+
+TEST(MiniBlockTest, DirectoryBoundsAreExact) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back((i / delta::kMiniBlockRows) * 1000 + (i % 50) - 25);
+  }
+  ByteBuffer buf;
+  delta::EncodeMiniBlocks(values, &buf);
+  std::vector<delta::MiniBlock> dir;
+  Slice payload;
+  ASSERT_TRUE(
+      delta::ParseMiniBlocks(buf.AsSlice(), values.size(), &dir, &payload)
+          .ok());
+  ASSERT_EQ(dir.size(), (values.size() + delta::kMiniBlockRows - 1) /
+                            delta::kMiniBlockRows);
+  size_t covered = 0;
+  for (const delta::MiniBlock& mb : dir) {
+    EXPECT_EQ(mb.row_begin, covered);
+    covered += mb.rows;
+    int64_t mn = values[mb.row_begin];
+    int64_t mx = mn;
+    for (size_t i = 0; i < mb.rows; ++i) {
+      mn = std::min(mn, values[mb.row_begin + i]);
+      mx = std::max(mx, values[mb.row_begin + i]);
+    }
+    EXPECT_EQ(mb.first, values[mb.row_begin]);
+    EXPECT_EQ(mb.min, mn);
+    EXPECT_EQ(mb.max, mx);
+  }
+  EXPECT_EQ(covered, values.size());
+}
+
+TEST(MiniBlockTest, SingleBlockDecode) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 300; ++i) values.push_back(i * i);
+  ByteBuffer buf;
+  delta::EncodeMiniBlocks(values, &buf);
+  std::vector<delta::MiniBlock> dir;
+  Slice payload;
+  ASSERT_TRUE(
+      delta::ParseMiniBlocks(buf.AsSlice(), values.size(), &dir, &payload)
+          .ok());
+  // Decode only the middle block; neighbours stay untouched.
+  const delta::MiniBlock& mb = dir[1];
+  std::vector<int64_t> out(mb.rows, 0);
+  ASSERT_TRUE(delta::DecodeMiniBlock(mb, payload, out.data()).ok());
+  for (size_t i = 0; i < mb.rows; ++i) {
+    EXPECT_EQ(out[i], values[mb.row_begin + i]);
+  }
+}
+
+TEST(MiniBlockTest, TruncatedStreamIsCorruption) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i * 977);
+  ByteBuffer buf;
+  delta::EncodeMiniBlocks(values, &buf);
+  std::vector<int64_t> out;
+  Status s = delta::DecodeMiniBlocks(
+      Slice(buf.data(), buf.size() / 2), values.size(), &out);
+  EXPECT_FALSE(s.ok());
 }
 
 }  // namespace

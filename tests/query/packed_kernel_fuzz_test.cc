@@ -1,0 +1,213 @@
+// Differential fuzz for the compressed-domain (packed) scan kernels: for
+// every bit width 1..64, every CompareOp, and every SIMD tier the build
+// carries, FilterPackedU64 / FilterPackedByBitmap / ExtractPackedLane must
+// be bit-identical to unpacking the lanes and running the scalar oracle.
+// This is the executable form of the SIMD/scalar equivalence contract in
+// DESIGN.md §3: a SIMD kernel may only ever be faster, never different.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "compress/bitpack.h"
+#include "query/scan_kernels.h"
+#include "util/byte_buffer.h"
+
+namespace scuba {
+namespace {
+
+using scan::SelVector;
+
+constexpr CompareOp kAllOps[] = {
+    CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,       CompareOp::kLe,
+    CompareOp::kGt, CompareOp::kGe, CompareOp::kContains, CompareOp::kPrefix,
+};
+
+// Unsigned-domain scalar oracle (the packed kernels compare raw lanes:
+// dictionary codes and zigzag deltas are unsigned). kContains/kPrefix have
+// no numeric meaning and clear the selection, same as the kernel contract.
+void OracleFilter(CompareOp op, const std::vector<uint64_t>& values,
+                  uint64_t literal, SelVector* sel) {
+  SelVector out;
+  out.reserve(sel->size());
+  for (uint32_t row : *sel) {
+    uint64_t v = values[row];
+    bool keep = false;
+    switch (op) {
+      case CompareOp::kEq: keep = v == literal; break;
+      case CompareOp::kNe: keep = v != literal; break;
+      case CompareOp::kLt: keep = v < literal; break;
+      case CompareOp::kLe: keep = v <= literal; break;
+      case CompareOp::kGt: keep = v > literal; break;
+      case CompareOp::kGe: keep = v >= literal; break;
+      case CompareOp::kContains:
+      case CompareOp::kPrefix: keep = false; break;
+    }
+    if (keep) out.push_back(row);
+  }
+  sel->swap(out);
+}
+
+uint64_t MaskForWidth(int width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+// Every SIMD tier this build can actually reach on this host; the override
+// hook clamps levels the CPU lacks, so asking for AVX2 on an SSE2 box
+// exercises SSE2 twice rather than skipping.
+std::vector<int> TestableLevels() { return {0, 1, 2}; }
+
+struct PackedStream {
+  std::vector<uint64_t> values;
+  ByteBuffer packed;
+  int width = 0;
+};
+
+PackedStream MakeStream(std::mt19937_64* rng, int width, size_t count) {
+  PackedStream s;
+  s.width = width;
+  s.values.resize(count);
+  uint64_t mask = MaskForWidth(width);
+  std::uniform_int_distribution<uint64_t> dist;
+  for (size_t i = 0; i < count; ++i) {
+    // Mix of random lanes and clustered extremes so Eq/Ne hit duplicates
+    // and Lt/Ge hit both boundary values.
+    switch (dist(*rng) % 8) {
+      case 0: s.values[i] = 0; break;
+      case 1: s.values[i] = mask; break;
+      case 2: s.values[i] = 1 & mask; break;
+      default: s.values[i] = dist(*rng) & mask; break;
+    }
+  }
+  bitpack::Pack(s.values, width, &s.packed);
+  return s;
+}
+
+// Selections that stress the kernels' word-boundary handling: full, empty,
+// sparse strides, a dense random subset, and a run straddling the 64-lane
+// mark where the SIMD paths switch batches.
+std::vector<SelVector> MakeSelections(std::mt19937_64* rng, size_t count) {
+  std::vector<SelVector> sels;
+  SelVector full(count);
+  for (size_t i = 0; i < count; ++i) full[i] = static_cast<uint32_t>(i);
+  sels.push_back(full);
+  sels.push_back(SelVector{});
+  SelVector stride;
+  for (size_t i = 0; i < count; i += 3) stride.push_back(static_cast<uint32_t>(i));
+  sels.push_back(std::move(stride));
+  SelVector random_subset;
+  std::uniform_int_distribution<int> coin(0, 3);
+  for (size_t i = 0; i < count; ++i) {
+    if (coin(*rng) != 0) random_subset.push_back(static_cast<uint32_t>(i));
+  }
+  sels.push_back(std::move(random_subset));
+  if (count > 70) {
+    SelVector straddle;
+    for (size_t i = 60; i < 70; ++i) straddle.push_back(static_cast<uint32_t>(i));
+    sels.push_back(std::move(straddle));
+  }
+  return sels;
+}
+
+TEST(PackedKernelFuzz, FilterMatchesOracleAllWidthsOpsAndLevels) {
+  std::mt19937_64 rng(0x5c0ba);
+  // Counts around the mini-block size (128) and packed-word boundaries.
+  const size_t counts[] = {1, 63, 64, 65, 127, 128, 129, 300};
+  for (int width = 1; width <= 64; ++width) {
+    size_t count = counts[static_cast<size_t>(width) % 8];
+    PackedStream s = MakeStream(&rng, width, count);
+    std::vector<SelVector> sels = MakeSelections(&rng, count);
+    uint64_t mask = MaskForWidth(width);
+    std::uniform_int_distribution<uint64_t> dist;
+    const uint64_t literals[] = {0, 1 & mask, mask, dist(rng) & mask,
+                                 s.values[count / 2]};
+    for (int level : TestableLevels()) {
+      scan::SetSimdLevelOverrideForTest(level);
+      for (CompareOp op : kAllOps) {
+        for (const SelVector& base : sels) {
+          for (uint64_t literal : literals) {
+            SelVector got = base;
+            scan::FilterPackedU64(op, s.packed.data(), s.packed.size(),
+                                  width, count, literal, &got);
+            SelVector want = base;
+            OracleFilter(op, s.values, literal, &want);
+            ASSERT_EQ(got, want)
+                << "width " << width << " op " << static_cast<int>(op)
+                << " literal " << literal << " level " << level
+                << " selsize " << base.size();
+          }
+        }
+      }
+    }
+  }
+  scan::SetSimdLevelOverrideForTest(-1);
+}
+
+TEST(PackedKernelFuzz, BitmapFilterMatchesOracleAndDropsCorruptCodes) {
+  std::mt19937_64 rng(99);
+  for (int width : {1, 3, 7, 8, 11, 12, 16, 21, 32}) {
+    const size_t count = 257;
+    PackedStream s = MakeStream(&rng, width, count);
+    // keep table deliberately SMALLER than the code domain, so some lanes
+    // index past it: those must drop out, not read out of bounds.
+    size_t dict_size = std::min<uint64_t>(MaskForWidth(width), 37) + 1;
+    std::vector<uint8_t> keep(dict_size / 2 + 1);
+    std::uniform_int_distribution<int> coin(0, 1);
+    for (auto& k : keep) k = static_cast<uint8_t>(coin(rng));
+    std::vector<SelVector> sels = MakeSelections(&rng, count);
+    for (int level : TestableLevels()) {
+      scan::SetSimdLevelOverrideForTest(level);
+      for (const SelVector& base : sels) {
+        SelVector got = base;
+        scan::FilterPackedByBitmap(s.packed.data(), s.packed.size(), width,
+                                   count, keep, &got);
+        SelVector want;
+        for (uint32_t row : base) {
+          uint64_t code = s.values[row];
+          if (code < keep.size() && keep[code] != 0) want.push_back(row);
+        }
+        ASSERT_EQ(got, want) << "width " << width << " level " << level;
+      }
+    }
+  }
+  scan::SetSimdLevelOverrideForTest(-1);
+}
+
+TEST(PackedKernelFuzz, ExtractPackedLaneMatchesUnpack) {
+  std::mt19937_64 rng(7);
+  for (int width = 1; width <= 64; ++width) {
+    const size_t count = 130;
+    PackedStream s = MakeStream(&rng, width, count);
+    std::vector<uint64_t> unpacked;
+    ASSERT_TRUE(bitpack::Unpack(Slice(s.packed.data(), s.packed.size()),
+                                width, count, &unpacked)
+                    .ok());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(scan::ExtractPackedLane(s.packed.data(), s.packed.size(),
+                                        width, i),
+                unpacked[i])
+          << "width " << width << " index " << i;
+    }
+  }
+}
+
+// The test override can only lower the tier, never raise it past what the
+// CPU supports — and -1 restores auto-detection. (The SCUBA_FORCE_SCALAR
+// env knob is read once at process start; the ci gate exercises it by
+// launching the whole query suite with it set.)
+TEST(PackedKernelFuzz, OverrideClampsToDetectedLevel) {
+  scan::SetSimdLevelOverrideForTest(-1);
+  scan::SimdLevel natural = scan::ActiveSimdLevel();
+  scan::SetSimdLevelOverrideForTest(0);
+  EXPECT_EQ(scan::ActiveSimdLevel(), scan::SimdLevel::kScalar);
+  scan::SetSimdLevelOverrideForTest(2);
+  EXPECT_LE(static_cast<int>(scan::ActiveSimdLevel()),
+            static_cast<int>(natural));
+  scan::SetSimdLevelOverrideForTest(-1);
+  EXPECT_EQ(scan::ActiveSimdLevel(), natural);
+}
+
+}  // namespace
+}  // namespace scuba

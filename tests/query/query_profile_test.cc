@@ -98,7 +98,8 @@ TEST(QueryProfileRender, JsonHasEveryField) {
         "blocks_zone_pruned", "rows_scanned", "rows_matched", "bytes_decoded",
         "leaves_total", "leaves_responded", "unavailable_leaves",
         "prune_micros", "decode_micros", "kernel_micros", "merge_micros",
-        "leaf_execute_micros", "fanout_queue_wait_micros"}) {
+        "leaf_execute_micros", "fanout_queue_wait_micros",
+        "cache_hit_buckets", "cache_miss_buckets"}) {
     EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
         << key;
   }
